@@ -1,0 +1,66 @@
+"""Ablation: recursion depth of Algorithm 1 (0-3 levels).
+
+DESIGN.md calls out the depth choice ("no more than three levels" in the
+paper).  This bench regenerates the trade-off: each added level cuts the
+modeled (and exactly simulated) cache misses of a big irregular gather,
+while adding grouping work.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.runtime import CacheParams
+from repro.scheduling import (
+    scheduled_gather,
+    simulate_set_associative,
+)
+
+
+def test_schedule_depth_ablation(benchmark, repro_scale):
+    rng = np.random.default_rng(0)
+    n = max(1024, int(200_000 * repro_scale))
+    m = 4 * n
+    d = rng.integers(0, 1000, n)
+    r = rng.integers(0, n, m)
+    cache = CacheParams(size_bytes=max(256, n // 64), line_bytes=8, associativity=4)
+
+    plans = {"depth-0": (), "depth-1": (16,), "depth-2": (16, 8), "depth-3": (16, 8, 4)}
+    rows = []
+
+    def run_all():
+        results = {}
+        for label, ws in plans.items():
+            out, stats = scheduled_gather(d, r, ws)
+            assert np.array_equal(out, d[r])
+            results[label] = stats
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    misses = {}
+    for label, ws in plans.items():
+        # Exact simulation of the base-level access trace.
+        order = r
+        for depth, w in enumerate(ws):
+            blk = -(-n // (int(np.prod(ws[: depth + 1]))))
+        trace = order if not ws else _grouped_trace(r, n, ws)
+        sim = simulate_set_associative(trace, cache)
+        misses[label] = sim.misses
+        stats = results[label]
+        rows.append([label, stats.sorted_elements, sim.misses, f"{sim.miss_rate:.3f}"])
+    print()
+    print(format_table(["plan", "sorted elems", "exact misses", "miss rate"], rows))
+    assert misses["depth-1"] < misses["depth-0"]
+    assert misses["depth-2"] <= misses["depth-1"]
+    benchmark.extra_info["miss_reduction_depth2"] = round(
+        misses["depth-0"] / max(misses["depth-2"], 1), 2
+    )
+
+
+def _grouped_trace(r: np.ndarray, n: int, ws) -> np.ndarray:
+    """Access order of the base level after recursive grouping."""
+    total_blocks = 1
+    for w in ws:
+        total_blocks *= w
+    blk = -(-n // total_blocks)
+    order = np.argsort(r // blk, kind="stable")
+    return r[order]

@@ -1,0 +1,17 @@
+"""Fig. 2 reproduction: naive CC-UPC vs CC-SMP on four random graphs.
+
+Paper claim: the literal UPC translation is drastically slower in wall
+time and ~3 orders of magnitude slower normalized per processor.
+"""
+
+from repro.bench import fig2_naive_vs_smp
+
+
+def test_fig02_naive_vs_smp(figure_runner):
+    fig = figure_runner(fig2_naive_vs_smp)
+    # Shape assertions: UPC never wins, and the normalized gap is orders
+    # of magnitude, on every input.
+    for row in fig.rows:
+        assert row["raw ratio"] > 10
+        assert row["normalized ratio"] > 100
+    assert fig.headline["normalized slowdown (orders of magnitude)"] > 2.5

@@ -1,0 +1,17 @@
+"""Fig. 5 reproduction: cumulative optimization breakdown on a random
+graph (16 nodes x 8 threads), six time categories.
+
+Paper claims: compact improves nearly every category; circular halves
+communication; localcpy halves Copy; id slashes the target-id Work.
+"""
+
+from repro.bench import fig5_optimization_breakdown
+
+
+def test_fig05_breakdown_random(figure_runner):
+    fig = figure_runner(fig5_optimization_breakdown)
+    assert fig.headline["Comm reduction at circular"] > 1.5
+    assert fig.headline["Copy reduction at localcpy"] > 1.5
+    assert fig.headline["optimized vs base"] > 1.5
+    totals = [row["total ms"] for row in fig.rows]
+    assert totals == sorted(totals, reverse=True)  # cumulative improvement

@@ -1,0 +1,16 @@
+"""Fig. 6 reproduction: the Fig. 5 breakdown on a hybrid (hub-heavy)
+graph.
+
+Paper claims: "similar impact is also observed for the hybrid graph";
+hubs create neither load imbalance nor communication hotspots.
+"""
+
+from repro.bench import fig6_optimization_breakdown_hybrid
+
+
+def test_fig06_breakdown_hybrid(figure_runner):
+    fig = figure_runner(fig6_optimization_breakdown_hybrid)
+    assert fig.headline["Comm reduction at circular"] > 1.5
+    assert fig.headline["optimized vs base"] > 1.5
+    totals = [row["total ms"] for row in fig.rows]
+    assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,17 @@
+"""Fig. 7 reproduction: optimized CC vs threads/node, m/n = 4.
+
+Paper claims: best at 8 threads/node (2.2x over CC-SMP, ~9x over the
+sequential baseline); ~10x degradation at 16 threads/node from the
+all-to-all burst of 256 threads.
+"""
+
+from repro.bench import fig7_cc_scaling
+
+
+def test_fig07_cc_scaling(figure_runner, repro_scale):
+    fig = figure_runner(fig7_cc_scaling)
+    assert fig.headline["best threads/node"] == 8
+    assert fig.headline["degradation 8->16 threads"] > 5
+    if repro_scale >= 0.25:
+        assert fig.headline["best speedup vs SMP"] > 1.2
+        assert 4 < fig.headline["best speedup vs seq"] < 25

@@ -1,0 +1,15 @@
+"""Fig. 8 reproduction: optimized CC vs threads/node, m/n = 10.
+
+Paper claims: best at 8 threads/node — 3x over CC-SMP, ~11x over the
+sequential baseline.
+"""
+
+from repro.bench import fig8_cc_scaling_dense
+
+
+def test_fig08_cc_scaling_dense(figure_runner, repro_scale):
+    fig = figure_runner(fig8_cc_scaling_dense)
+    assert fig.headline["best threads/node"] == 8
+    assert fig.headline["degradation 8->16 threads"] > 5
+    if repro_scale >= 0.25:
+        assert fig.headline["best speedup vs SMP"] > 1.2

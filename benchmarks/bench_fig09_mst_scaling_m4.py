@@ -1,0 +1,14 @@
+"""Fig. 9 reproduction: optimized MST vs threads/node, m/n = 4.
+
+Paper claims: best speedup 5.5 at 8 threads/node; MST-SMP "either slower
+or only slightly faster" than sequential Kruskal (the 100M-lock effect).
+"""
+
+from repro.bench import fig9_mst_scaling
+
+
+def test_fig09_mst_scaling(figure_runner):
+    fig = figure_runner(fig9_mst_scaling)
+    assert fig.headline["best threads/node"] == 8
+    assert fig.headline["best speedup"] > 3
+    assert 0.4 < fig.headline["SMP vs Kruskal"] < 2.5

@@ -1,0 +1,12 @@
+"""Fig. 10 reproduction: optimized MST vs threads/node, m/n = 10.
+
+Paper claims: best speedup 10.2 at 8 threads/node.
+"""
+
+from repro.bench import fig10_mst_scaling_dense
+
+
+def test_fig10_mst_scaling_dense(figure_runner):
+    fig = figure_runner(fig10_mst_scaling_dense)
+    assert fig.headline["best threads/node"] == 8
+    assert fig.headline["best speedup"] > 5

@@ -1,0 +1,42 @@
+"""Micro-benchmarks: wall-clock throughput of the simulation itself.
+
+These measure the *simulator* (how many simulated-element-transfers the
+NumPy implementation processes per second of real time), guarding
+against performance regressions in the library's own hot paths.
+"""
+
+import numpy as np
+
+from repro.collectives import getd, setdmin
+from repro.core import OptimizationFlags
+from repro.runtime import PGASRuntime, PartitionedArray, hps_cluster
+from repro.scheduling import scheduled_gather
+
+
+def test_micro_getd_throughput(benchmark):
+    machine = hps_cluster(8, 4)
+    rt = PGASRuntime(machine)
+    arr = rt.shared_array(np.arange(100_000, dtype=np.int64))
+    idx = PartitionedArray.even(
+        np.random.default_rng(0).integers(0, 100_000, 400_000), machine.total_threads
+    )
+    out = benchmark(getd, rt, arr, idx, OptimizationFlags.all())
+    assert np.array_equal(out, arr.data[idx.data])
+
+
+def test_micro_setdmin_throughput(benchmark):
+    machine = hps_cluster(8, 4)
+    rt = PGASRuntime(machine)
+    arr = rt.shared_array(np.full(100_000, 2**40, dtype=np.int64))
+    rng = np.random.default_rng(1)
+    idx = PartitionedArray.even(rng.integers(0, 100_000, 400_000), machine.total_threads)
+    vals = rng.integers(0, 2**31, 400_000)
+    benchmark(setdmin, rt, arr, idx, vals, OptimizationFlags.all())
+
+
+def test_micro_scheduled_gather_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    d = rng.integers(0, 1000, 200_000)
+    r = rng.integers(0, 200_000, 800_000)
+    out, _ = benchmark(scheduled_gather, d, r, (16, 8))
+    assert out.size == 800_000

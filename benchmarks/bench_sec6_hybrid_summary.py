@@ -1,0 +1,16 @@
+"""Section VI reproduction: hybrid-graph speedup summary.
+
+Paper claims (best configuration): CC 2.5x / 2.8x over SMP; MST 5.1x /
+6.7x over sequential Kruskal; hubs cause no load-balance or hotspot
+problems.
+"""
+
+from repro.bench import sec6_hybrid_summary
+
+
+def test_sec6_hybrid_summary(figure_runner):
+    fig = figure_runner(sec6_hybrid_summary)
+    assert fig.headline["CC vs SMP (m/n=4)"] > 1.0
+    assert fig.headline["CC vs SMP (m/n=10)"] > 1.0
+    assert fig.headline["MST vs seq (m/n=4)"] > 2.0
+    assert fig.headline["MST vs seq (m/n=10)"] > 2.0

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The paper's Figure 1: CC-SMP vs CC-UPC, side by side.
+
+Figure 1's point is that the SMP source and its UPC translation are
+"almost identical except for the names of a few language constructs" —
+and that this literal port is exactly what performs three orders of
+magnitude worse.  This example prints the reconstructed pseudo-code
+pair, then runs *both* semantics through the library on the same input
+to show (a) they compute the same labels and (b) what the innocent
+construct renaming costs.
+
+Run:  python examples/fig1_code_comparison.py
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import numpy as np
+
+import repro
+from repro.bench import banner
+
+CC_SMP = """
+// CC-SMP (one node, OpenMP-style)
+int D[n];
+for (i = 0; i < n; i++) D[i] = i;
+do {
+    graft = 0;
+    pardo (e = 0; e < m; e++) {          // threads split the edge list
+        (u, v) = E[e];
+        if (D[u] < D[v] && D[v] == D[D[v]]) { D[D[v]] = D[u]; graft = 1; }
+        if (D[v] < D[u] && D[u] == D[D[u]]) { D[D[u]] = D[v]; graft = 1; }
+    }
+    pardo (i = 0; i < n; i++)            // asynchronous short-cutting
+        while (D[i] != D[D[i]]) D[i] = D[D[i]];
+} while (graft);
+"""
+
+CC_UPC = """
+// CC-UPC (literal translation; differences underlined in the paper)
+shared [nlocal] int D[n];                 // ___shared___ blocked array
+upc_forall (i = 0; i < n; i++; &D[i]) D[i] = i;
+do {
+    graft = 0;
+    upc_forall (e = 0; e < m; e++; e) {   // ___upc_forall___
+        (u, v) = E[e];
+        if (D[u] < D[v] && D[v] == D[D[v]]) { D[D[v]] = D[u]; graft = 1; }
+        if (D[v] < D[u] && D[u] == D[D[u]]) { D[D[u]] = D[v]; graft = 1; }
+    }
+    upc_forall (i = 0; i < n; i++; &D[i])
+        while (D[i] != D[D[i]]) D[i] = D[D[i]];
+} while (graft);                          // every D[...] may now be remote!
+"""
+
+
+def side_by_side(left: str, right: str, width: int = 62) -> str:
+    l_lines = textwrap.dedent(left).strip().splitlines()
+    r_lines = textwrap.dedent(right).strip().splitlines()
+    height = max(len(l_lines), len(r_lines))
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    return "\n".join(f"{a:<{width}s}| {b}" for a, b in zip(l_lines, r_lines))
+
+
+def main() -> None:
+    print(banner("Figure 1: the same algorithm, two memory models"))
+    print()
+    print(side_by_side(CC_SMP, CC_UPC))
+
+    n = 20_000
+    g = repro.random_graph(n, 4 * n, seed=5)
+    smp = repro.connected_components(g, repro.smp_for_input(n, 16), impl="smp")
+    upc = repro.connected_components(g, repro.cluster_for_input(n, 16, 16), impl="naive")
+    assert np.array_equal(smp.labels, upc.labels)
+
+    print(f"\nsame labels on both ({smp.num_components} components), but:")
+    print(f"  CC-SMP  (1 node x 16):   {smp.info.sim_time_ms:12.3f} ms simulated")
+    print(f"  CC-UPC  (16 nodes x 16): {upc.info.sim_time_ms:12.3f} ms simulated")
+    raw = upc.info.sim_time / smp.info.sim_time
+    print(f"  raw slowdown: {raw:.0f}x; normalized per processor: {raw * 16:.0f}x"
+          f" (~{np.log10(raw * 16):.1f} orders of magnitude — the paper's Fig. 2)")
+    fine = upc.info.trace.counters.fine_remote_accesses
+    print(f"  cause: {fine:,} individual blocking remote accesses"
+          " — every innocent-looking D[...] became a network round trip.")
+
+
+if __name__ == "__main__":
+    main()

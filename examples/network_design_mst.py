@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Scenario: minimum-cost network design with the lock-free MST.
+
+A classic MST application: given candidate links with installation
+costs, pick the cheapest set that connects everything.  This example
+runs the paper's three MST implementations on the same instance and
+reproduces the lock-overhead story of Figs. 9-10: the lock-based SMP
+code barely beats sequential Kruskal, while the SetDMin rewrite on the
+cluster wins outright.
+
+Run:  python examples/network_design_mst.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.bench import banner, format_table
+from repro.mst import check_spanning_forest
+
+
+def build_instance(n: int = 40_000, seed: int = 3) -> repro.EdgeList:
+    """Candidate links: a sparse random mesh with integer costs."""
+    g = repro.random_graph(n, 4 * n, seed=seed)
+    # Costs: mostly mid-range, a few very cheap backbone links.
+    rng = np.random.default_rng(seed + 1)
+    w = rng.integers(1_000, 1_000_000, g.m, dtype=np.int64)
+    backbone = rng.choice(g.m, size=g.m // 100, replace=False)
+    w[backbone] = rng.integers(1, 100, backbone.size)
+    return g.with_weights(w)
+
+
+def main() -> None:
+    print(banner("minimum-cost network design (MST) on the simulated cluster"))
+    g = build_instance()
+    n = g.n
+    print(f"\ncandidate links: n={n:,} sites, m={g.m:,} links")
+
+    cluster = repro.cluster_for_input(n, nodes=16, threads_per_node=8)
+    smp = repro.smp_for_input(n, 16)
+    seq = repro.sequential_for_input(n)
+
+    runs = {
+        "collective (SetDMin, no locks)": repro.minimum_spanning_forest(
+            g, cluster, impl="collective", tprime=2
+        ),
+        "SMP 1x16 (fine-grained locks)": repro.minimum_spanning_forest(g, smp, impl="smp"),
+        "sequential Kruskal": repro.minimum_spanning_forest(g, seq, impl="kruskal"),
+        "sequential Prim": repro.minimum_spanning_forest(g, seq, impl="prim"),
+        "sequential Boruvka": repro.minimum_spanning_forest(g, seq, impl="boruvka"),
+    }
+
+    reference = runs["sequential Kruskal"]
+    rows = []
+    for label, res in runs.items():
+        assert res.total_weight == reference.total_weight, "all must find the minimum"
+        rows.append(
+            [
+                label,
+                f"{res.info.sim_time_ms:.3f}",
+                f"{reference.info.sim_time / res.info.sim_time:.2f}x",
+                f"{res.info.trace.counters.lock_ops:,}",
+            ]
+        )
+    print()
+    print(format_table(["implementation", "sim ms", "vs Kruskal", "lock ops"], rows))
+
+    best = runs["collective (SetDMin, no locks)"]
+    check_spanning_forest(g, best.edge_ids)
+    print(f"\nchosen network: {best.num_edges:,} links,"
+          f" total cost {best.total_weight:,} (verified minimal)")
+    print("note the SMP row: its fine-grained locks eat the parallel gains —"
+          "\nthe paper's reason for inventing the SetDMin collective.")
+
+
+if __name__ == "__main__":
+    main()

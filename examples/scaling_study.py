@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scaling study: sweep cluster shapes and input sizes.
+
+Goes beyond the paper's fixed 16-node cluster: how do the optimized CC
+and MST scale with node count, and where does the all-to-all thread
+collapse start?  Useful as a template for running your own parameter
+sweeps with the library.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.bench import banner, format_table
+
+
+def node_sweep(n: int = 50_000) -> None:
+    g = repro.random_graph(n, 4 * n, seed=9)
+    gw = repro.with_random_weights(g, seed=10)
+    seq_cc = repro.connected_components(g, repro.sequential_for_input(n), impl="sequential")
+    seq_mst = repro.minimum_spanning_forest(gw, repro.sequential_for_input(n), impl="kruskal")
+
+    rows = []
+    for nodes in (1, 2, 4, 8, 16, 32):
+        machine = repro.cluster_for_input(n, nodes, 8)
+        cc = repro.connected_components(g, machine, tprime=2)
+        mst = repro.minimum_spanning_forest(gw, machine, tprime=2)
+        rows.append(
+            [
+                f"{nodes}x8",
+                f"{cc.info.sim_time_ms:.3f}",
+                f"{seq_cc.info.sim_time / cc.info.sim_time:.2f}x",
+                f"{mst.info.sim_time_ms:.3f}",
+                f"{seq_mst.info.sim_time / mst.info.sim_time:.2f}x",
+            ]
+        )
+    print()
+    print(format_table(["cluster", "CC ms", "CC vs seq", "MST ms", "MST vs seq"], rows))
+
+
+def thread_collapse(n: int = 50_000) -> None:
+    g = repro.random_graph(n, 4 * n, seed=9)
+    rows = []
+    for t in (4, 8, 12, 16):
+        machine = repro.cluster_for_input(n, 16, t)
+        cc = repro.connected_components(g, machine, tprime=max(1, 16 // t))
+        setup = cc.info.breakdown()["Setup"]
+        rows.append(
+            [f"16x{t} (s={16 * t})", f"{cc.info.sim_time_ms:.3f}", f"{setup * 1e3:.3f}"]
+        )
+    print()
+    print(format_table(["cluster", "CC ms", "Setup ms/thread"], rows))
+    print("(the s=256 row shows the paper's AlltoAll incast collapse)")
+
+
+def input_sweep() -> None:
+    rows = []
+    for n in (10_000, 20_000, 50_000, 100_000):
+        g = repro.random_graph(n, 4 * n, seed=11)
+        machine = repro.cluster_for_input(n, 16, 8)
+        cc = repro.connected_components(g, machine, tprime=2)
+        rows.append([f"{n:,}", f"{4 * n:,}", f"{cc.info.sim_time_ms:.3f}",
+                     f"{cc.info.iterations}"])
+    print()
+    print(format_table(["n", "m", "CC ms", "iterations"], rows))
+
+
+def main() -> None:
+    print(banner("scaling study: nodes, threads, input size"))
+    print("\n== node-count sweep (8 threads/node) ==")
+    node_sweep()
+    print("\n== threads-per-node sweep on 16 nodes (the collapse) ==")
+    thread_collapse()
+    print("\n== input-size sweep (16x8) ==")
+    input_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP-660 editable installs (which require bdist_wheel) cannot build.
+This shim lets `pip install -e . --no-use-pep517 --no-build-isolation`
+fall back to `setup.py develop`. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

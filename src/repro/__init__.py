@@ -1,0 +1,125 @@
+"""repro — simulated-PGAS reproduction of
+"Fast PGAS Implementation of Distributed Graph Algorithms" (Cong,
+Almasi, Saraswat; SC 2010).
+
+The library implements the paper's connected-components and
+minimum-spanning-tree algorithms — naive UPC translation, SMP baselines,
+sequential baselines, and the optimized collective rewrites — on a
+simulated cluster of SMPs: the algorithms run for real on NumPy data
+while a calibrated cost model charges per-thread virtual clocks, so the
+paper's performance shapes (Figs. 2-10) are reproducible on one laptop.
+
+Quickstart::
+
+    import repro
+
+    g = repro.random_graph(100_000, 400_000, seed=0)
+    cc = repro.connected_components(g, machine=repro.hps_cluster(16, 8))
+    print(cc.num_components, cc.info.sim_time_ms, "ms simulated")
+
+    gw = repro.with_random_weights(g, seed=1)
+    mst = repro.minimum_spanning_forest(gw, machine=repro.hps_cluster(16, 8))
+    print(mst.total_weight, mst.num_edges)
+
+Packages
+--------
+``repro.runtime``      simulated PGAS substrate (machines, clocks, costs)
+``repro.collectives``  GetD / SetD / SetDMin (paper Algorithm 2)
+``repro.scheduling``   access scheduling (paper Algorithm 1), cache models
+``repro.graph``        generators, edge lists, distribution
+``repro.cc``           connected-components implementations
+``repro.mst``          minimum-spanning-forest implementations
+``repro.core``         high-level API, optimization flags, analysis
+``repro.bench``        experiment harness used by ``benchmarks/``
+"""
+
+from .core import (
+    CC_IMPLS,
+    DEFAULT_BENCH_N,
+    MST_IMPLS,
+    CCResult,
+    MSTResult,
+    OptimizationFlags,
+    SolveInfo,
+    canonical_labels,
+    cluster_for_input,
+    connected_components,
+    machine_for_input,
+    minimum_spanning_forest,
+    sequential_for_input,
+    smp_for_input,
+    spanning_forest,
+)
+from .errors import (
+    CollectiveError,
+    ConfigError,
+    ConvergenceError,
+    DistributionError,
+    GraphError,
+    ReproError,
+    VerificationError,
+)
+from .graph import (
+    EdgeList,
+    hybrid_graph,
+    load_edgelist,
+    random_graph,
+    save_edgelist,
+    with_random_weights,
+)
+from .runtime import (
+    MachineConfig,
+    PGASRuntime,
+    PartitionedArray,
+    SharedArray,
+    profiled,
+    render_phases,
+    hps_cluster,
+    infiniband_cluster,
+    sequential_machine,
+    smp_node,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCResult",
+    "CC_IMPLS",
+    "CollectiveError",
+    "ConfigError",
+    "ConvergenceError",
+    "DEFAULT_BENCH_N",
+    "DistributionError",
+    "EdgeList",
+    "GraphError",
+    "MSTResult",
+    "MST_IMPLS",
+    "MachineConfig",
+    "OptimizationFlags",
+    "PGASRuntime",
+    "PartitionedArray",
+    "ReproError",
+    "SharedArray",
+    "SolveInfo",
+    "VerificationError",
+    "__version__",
+    "canonical_labels",
+    "cluster_for_input",
+    "connected_components",
+    "hps_cluster",
+    "hybrid_graph",
+    "infiniband_cluster",
+    "load_edgelist",
+    "machine_for_input",
+    "minimum_spanning_forest",
+    "profiled",
+    "random_graph",
+    "render_phases",
+    "save_edgelist",
+    "sequential_for_input",
+    "sequential_machine",
+    "smp_for_input",
+    "smp_node",
+    "spanning_forest",
+    "with_random_weights",
+]

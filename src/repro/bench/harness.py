@@ -1,0 +1,95 @@
+"""Benchmark harness: cached inputs, figure-result containers, speedups.
+
+Generated graphs are cached on disk (``REPRO_BENCH_CACHE`` overrides the
+location) because input generation would otherwise dominate benchmark
+wall time — mirroring the paper's own remark about generation cost.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from ..graph.edgelist import EdgeList
+from ..graph.generators import hybrid_graph, random_graph, with_random_weights
+from ..graph.io import cached_graph
+from .report import format_table
+
+__all__ = ["bench_cache_dir", "bench_graph", "FigureResult", "speedup"]
+
+
+def bench_cache_dir() -> Path:
+    """Directory for cached benchmark inputs."""
+    env = os.environ.get("REPRO_BENCH_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".bench_cache"
+
+
+def bench_graph(
+    kind: str, n: int, m: int, seed: int = 0, weighted: bool = False
+) -> EdgeList:
+    """Deterministic benchmark input, cached on disk.
+
+    ``kind`` is ``'random'`` or ``'hybrid'`` (the paper's two families).
+    """
+    if kind == "random":
+        builder = lambda: random_graph(n, m, seed)  # noqa: E731
+    elif kind == "hybrid":
+        builder = lambda: hybrid_graph(n, m, seed)  # noqa: E731
+    else:
+        raise ValueError(f"unknown graph kind {kind!r}; use 'random' or 'hybrid'")
+    tag = f"{kind}_n{n}_m{m}_s{seed}{'_w' if weighted else ''}.npz"
+    path = bench_cache_dir() / tag
+
+    def build() -> EdgeList:
+        g = builder()
+        return with_random_weights(g, seed + 1) if weighted else g
+
+    return cached_graph(path, build)
+
+
+def speedup(baseline_time: float, time: float) -> float:
+    """``baseline / time`` — >1 means faster than the baseline."""
+    if time <= 0:
+        raise ValueError("time must be positive")
+    return baseline_time / time
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure reproduction.
+
+    ``rows`` hold one dict per data point; ``headline`` maps metric names
+    (e.g. ``"best speedup vs SMP"``) to measured values; ``paper`` maps
+    the same names to the paper's reported values, so EXPERIMENTS.md can
+    print paper-vs-measured side by side.
+    """
+
+    figure: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    headline: Dict[str, float] = field(default_factory=dict)
+    paper: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **cells: object) -> None:
+        self.rows.append(cells)
+
+    def table(self) -> str:
+        body = [[row.get(c, "") for c in self.columns] for row in self.rows]
+        return format_table(list(self.columns), body)
+
+    def render(self) -> str:
+        out = [f"{self.figure}: {self.title}", self.table()]
+        if self.headline:
+            out.append("")
+            for key, value in self.headline.items():
+                paper_val = self.paper.get(key, "n/a")
+                out.append(f"  {key}: measured {value:.3g} (paper: {paper_val})")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)

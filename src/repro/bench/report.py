@@ -1,0 +1,58 @@
+"""Plain-text rendering for benchmark results.
+
+The paper's figures are bar/line charts; the harness renders the same
+data as aligned ASCII tables and series so they diff cleanly in CI logs
+and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_kv", "format_ratio", "banner"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned table with a header rule."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, header has {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_kv(pairs: Mapping[str, object]) -> str:
+    """Render key/value pairs, one per line, keys aligned."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    return "\n".join(f"{k.ljust(width)} : {_cell(v)}" for k, v in pairs.items())
+
+
+def format_ratio(label: str, numerator: float, denominator: float) -> str:
+    """Render a speedup/slowdown line; guards division by zero."""
+    if denominator == 0:
+        return f"{label}: n/a (zero denominator)"
+    return f"{label}: {numerator / denominator:.2f}x"
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"

@@ -1,0 +1,27 @@
+"""CC-UPC: the naive PGAS translation (paper's Fig. 1, right column).
+
+A thin front over the fine-grained engine with ``style='upc'`` on a
+distributed machine.  This is the configuration Fig. 2 shows to be three
+orders of magnitude slower (per processor) than CC-SMP: every irregular
+``D[...]`` dereference that lands on another node becomes a blocking
+small message, and the messages of a node's 16 threads serialize through
+its NIC.
+"""
+
+from __future__ import annotations
+
+from ..core.results import CCResult
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, hps_cluster
+from .fine_grained import solve_cc_fine_grained
+
+__all__ = ["solve_cc_naive_upc"]
+
+
+def solve_cc_naive_upc(graph: EdgeList, machine: MachineConfig | None = None) -> CCResult:
+    """Run the literal UPC translation of graft-and-shortcut CC."""
+    machine = machine if machine is not None else hps_cluster()
+    if machine.nodes < 1:
+        raise ConfigError("naive UPC CC needs a machine")
+    return solve_cc_fine_grained(graph, machine, style="upc")

@@ -1,0 +1,28 @@
+"""CC-SMP: the shared-memory baseline (paper's Fig. 1, left column).
+
+The Bader-Cong SMP connected-components code: identical algorithm to the
+UPC translation, run on one SMP node where every irregular access is a
+plain (cache-modeled) memory access.  The paper uses its 16-thread run
+as the bar every distributed configuration must clear (the solid
+horizontal line in Figs. 7-8).
+"""
+
+from __future__ import annotations
+
+from ..core.results import CCResult
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, smp_node
+from .fine_grained import solve_cc_fine_grained
+
+__all__ = ["solve_cc_smp"]
+
+
+def solve_cc_smp(graph: EdgeList, machine: MachineConfig | None = None) -> CCResult:
+    """Run CC-SMP on a single-node machine (default: 16 threads)."""
+    machine = machine if machine is not None else smp_node(16)
+    if machine.nodes != 1:
+        raise ConfigError(
+            f"CC-SMP is a single-node baseline; got a {machine.nodes}-node machine"
+        )
+    return solve_cc_fine_grained(graph, machine, style="smp")

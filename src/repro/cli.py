@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``cc``        solve connected components on a generated graph
+``mst``       solve minimum spanning forest
+``listrank``  rank a random linked list
+``bfs``       breadth-first search distances from a source
+``info``      show machine presets and calibration for an input size
+``figures``   run paper-figure reproductions and print their tables
+
+Every solve prints the result summary, the modeled time, the Fig. 5
+category breakdown, and the communication counters.  All inputs are
+generated deterministically from ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench.report import banner, format_kv, format_table
+from .core import (
+    CC_IMPLS,
+    MST_IMPLS,
+    OptimizationFlags,
+    cluster_for_input,
+    connected_components,
+    machine_for_input,
+    minimum_spanning_forest,
+)
+from .core.results import SolveInfo
+from .errors import ReproError
+from .graph import hybrid_graph, random_graph, with_random_weights
+from .runtime import hps_cluster, sequential_machine, smp_node
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=50_000, help="vertex count")
+    parser.add_argument("--density", type=float, default=4.0, help="edges per vertex (m/n)")
+    parser.add_argument(
+        "--kind", choices=("random", "hybrid"), default="random", help="input family"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--machine",
+        default="16x8",
+        help="cluster shape NODESxTHREADS (e.g. 16x8), 'smp' (1x16) or 'seq'",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip input-size calibration of cache/per-call costs",
+    )
+    parser.add_argument("--tprime", type=int, default=2, help="virtual threads t'")
+    parser.add_argument(
+        "--opts",
+        default="all",
+        help="'all', 'none', or comma-separated flag names (e.g. compact,circular)",
+    )
+    parser.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="enable the future-work hierarchical collectives",
+    )
+    parser.add_argument("--validate", action="store_true", help="self-check the answer")
+
+
+def _parse_machine(spec: str, n: int, calibrate: bool):
+    if spec == "seq":
+        base = sequential_machine()
+    elif spec == "smp":
+        base = smp_node(16)
+    else:
+        try:
+            nodes_s, threads_s = spec.lower().split("x")
+            base = hps_cluster(int(nodes_s), int(threads_s))
+        except (ValueError, ReproError) as err:
+            raise SystemExit(f"bad --machine {spec!r}: use NODESxTHREADS, 'smp' or 'seq' ({err})")
+    return machine_for_input(base, n) if calibrate else base
+
+
+def _parse_opts(spec: str, hierarchical: bool) -> OptimizationFlags:
+    if spec == "all":
+        flags = OptimizationFlags.all()
+    elif spec == "none":
+        flags = OptimizationFlags.none()
+    else:
+        try:
+            flags = OptimizationFlags.only(*[s.strip() for s in spec.split(",") if s.strip()])
+        except ReproError as err:
+            raise SystemExit(str(err))
+    if hierarchical:
+        flags = flags.with_(hierarchical=True)
+    return flags
+
+
+def _build_graph(args: argparse.Namespace, weighted: bool):
+    n, m = args.n, int(args.density * args.n)
+    builder = random_graph if args.kind == "random" else hybrid_graph
+    g = builder(n, m, seed=args.seed)
+    return with_random_weights(g, seed=args.seed + 1) if weighted else g
+
+
+def _print_info(info: SolveInfo) -> None:
+    print(f"\nmachine : {info.machine.describe()}")
+    print(f"modeled : {info.sim_time_ms:.3f} ms in {info.iterations} iteration(s)")
+    print(f"wall    : {info.wall_time * 1e3:.1f} ms (simulation overhead)")
+    print("breakdown (avg ms/thread):")
+    body = format_kv({k: round(v * 1e3, 4) for k, v in info.breakdown().items()})
+    print("  " + body.replace("\n", "\n  "))
+    c = info.trace.counters
+    print(
+        f"comm    : {c.remote_messages:,} messages / {c.remote_bytes:,} bytes /"
+        f" {c.collective_calls} collectives / {c.barriers} barriers"
+    )
+
+
+def _cmd_cc(args: argparse.Namespace) -> int:
+    g = _build_graph(args, weighted=False)
+    machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
+    opts = _parse_opts(args.opts, args.hierarchical)
+    print(banner(f"connected components — {args.kind} n={g.n:,} m={g.m:,}"))
+    res = connected_components(
+        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate
+    )
+    print(f"\ncomponents: {res.num_components}")
+    _print_info(res.info)
+    return 0
+
+
+def _cmd_mst(args: argparse.Namespace) -> int:
+    g = _build_graph(args, weighted=True)
+    machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
+    opts = _parse_opts(args.opts, args.hierarchical)
+    print(banner(f"minimum spanning forest — {args.kind} n={g.n:,} m={g.m:,}"))
+    res = minimum_spanning_forest(
+        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate
+    )
+    print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
+    _print_info(res.info)
+    return 0
+
+
+def _cmd_listrank(args: argparse.Namespace) -> int:
+    from .listrank import random_list, solve_ranks_cgm, solve_ranks_sequential, solve_ranks_wyllie
+
+    lst = random_list(args.n, args.seed)
+    machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
+    opts = _parse_opts(args.opts, args.hierarchical)
+    print(banner(f"list ranking — n={args.n:,}"))
+    solvers = {
+        "wyllie": lambda: solve_ranks_wyllie(lst, machine, opts, args.tprime),
+        "cgm": lambda: solve_ranks_cgm(lst, machine, opts, args.tprime),
+        "sequential": lambda: solve_ranks_sequential(lst),
+    }
+    ranks, info = solvers[args.impl]()
+    print(f"\nhead rank: {int(ranks.max())} (= n-1: {int(ranks.max()) == args.n - 1})")
+    _print_info(info)
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from .bfs import solve_bfs_collective, solve_bfs_naive_upc, solve_bfs_sequential
+    from .bfs.solvers import UNREACHED
+
+    g = _build_graph(args, weighted=False)
+    machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
+    opts = _parse_opts(args.opts, args.hierarchical)
+    print(banner(f"BFS from {args.source} — {args.kind} n={g.n:,} m={g.m:,}"))
+    if args.impl == "collective":
+        dist, info = solve_bfs_collective(g, args.source, machine, opts, args.tprime)
+    elif args.impl == "naive":
+        dist, info = solve_bfs_naive_upc(g, args.source, machine)
+    else:
+        dist, info = solve_bfs_sequential(g, args.source)
+    reached = dist != UNREACHED
+    print(f"\nreached {int(reached.sum()):,}/{g.n:,} vertices;"
+          f" eccentricity {int(dist[reached].max())}; levels {info.iterations}")
+    _print_info(info)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(banner("machine presets"))
+    rows = []
+    for name, machine in [
+        ("hps_cluster(16,16)", hps_cluster(16, 16)),
+        ("hps_cluster(16,8)", hps_cluster(16, 8)),
+        ("smp_node(16)", smp_node(16)),
+        ("sequential", sequential_machine()),
+    ]:
+        rows.append([name, machine.describe()])
+    print(format_table(["preset", "description"], rows))
+    n = args.n
+    calibrated = cluster_for_input(n, 16, 8)
+    print(f"\ncalibrated for n={n:,}: {calibrated.describe()}")
+    print(f"per-call scale: {calibrated.per_call_scale:.2e}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .bench.figures import ALL_FIGURES
+
+    names = args.only if args.only else sorted(ALL_FIGURES)
+    for name in names:
+        if name not in ALL_FIGURES:
+            raise SystemExit(f"unknown figure {name!r}; choose from {sorted(ALL_FIGURES)}")
+        fig = ALL_FIGURES[name](scale=args.scale)
+        print()
+        print(fig.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated-PGAS graph algorithms (SC'10 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cc = sub.add_parser("cc", help="connected components")
+    _add_common(p_cc)
+    p_cc.add_argument("--impl", choices=CC_IMPLS, default="collective")
+    p_cc.set_defaults(func=_cmd_cc)
+
+    p_mst = sub.add_parser("mst", help="minimum spanning forest")
+    _add_common(p_mst)
+    p_mst.add_argument("--impl", choices=MST_IMPLS, default="collective")
+    p_mst.set_defaults(func=_cmd_mst)
+
+    p_bfs = sub.add_parser("bfs", help="breadth-first search")
+    _add_common(p_bfs)
+    p_bfs.add_argument("--impl", choices=("collective", "naive", "sequential"), default="collective")
+    p_bfs.add_argument("--source", type=int, default=0)
+    p_bfs.set_defaults(func=_cmd_bfs)
+
+    p_lr = sub.add_parser("listrank", help="list ranking")
+    _add_common(p_lr)
+    p_lr.add_argument("--impl", choices=("wyllie", "cgm", "sequential"), default="wyllie")
+    p_lr.set_defaults(func=_cmd_listrank)
+
+    p_info = sub.add_parser("info", help="machine presets and calibration")
+    p_info.add_argument("--n", type=int, default=100_000)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_fig = sub.add_parser("figures", help="run paper-figure reproductions")
+    p_fig.add_argument("--scale", type=float, default=0.25)
+    p_fig.add_argument("--only", nargs="*", help="figure keys (e.g. fig7 sec3)")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

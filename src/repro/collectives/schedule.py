@@ -1,0 +1,59 @@
+"""Communication orderings: linear vs circular (the ``circular`` opt).
+
+"If all threads initiate communication between themselves and others in
+the order of 0, 1, ..., s-1, at step i thread i has to service O(s)
+requests. ... We orchestrate the communication pattern so that each
+thread starts with itself and wraps around using modulo arithmetic in
+the order i, i+1, ..., (i+s) mod s.  In this manner, in each loop step a
+thread is only serving one request."
+
+The *cost* consequence (2x communication time for the linear order) is
+carried by :meth:`repro.runtime.cost.CostModel.bulk_transfer_time`'s
+``linear_order`` factor; this module constructs the actual schedules so
+tests can verify the structural claim — the circular order is a perfect
+matching at every step, the linear order is an s-way incast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CollectiveError
+
+__all__ = ["linear_schedule", "circular_schedule", "max_step_contention", "is_contention_free"]
+
+
+def linear_schedule(s: int) -> np.ndarray:
+    """``order[i, step]``: peer contacted by thread ``i`` at ``step``
+    under the naive order — everyone walks 0, 1, ..., s-1 together."""
+    if s < 1:
+        raise CollectiveError("need s >= 1")
+    return np.tile(np.arange(s, dtype=np.int64), (s, 1))
+
+
+def circular_schedule(s: int) -> np.ndarray:
+    """The paper's order: thread ``i`` contacts ``(i + step) mod s``."""
+    if s < 1:
+        raise CollectiveError("need s >= 1")
+    i = np.arange(s, dtype=np.int64)[:, None]
+    step = np.arange(s, dtype=np.int64)[None, :]
+    return (i + step) % s
+
+
+def max_step_contention(order: np.ndarray) -> int:
+    """Worst-case number of threads targeting one peer in any step."""
+    order = np.asarray(order)
+    if order.ndim != 2 or order.shape[0] != order.shape[1]:
+        raise CollectiveError("schedule must be an s x s matrix")
+    s = order.shape[0]
+    worst = 0
+    for step in range(s):
+        counts = np.bincount(order[:, step], minlength=s)
+        worst = max(worst, int(counts.max()))
+    return worst
+
+
+def is_contention_free(order: np.ndarray) -> bool:
+    """True when every step is a perfect matching (each peer contacted by
+    exactly one thread)."""
+    return max_step_contention(order) == 1

@@ -1,0 +1,170 @@
+"""SetD and SetDMin: coordinated parallel writes.
+
+``SetD`` implements *arbitrary* concurrent write (several threads may
+target one location; one of them wins) and ``SetDMin`` implements
+*priority* concurrent write — "when multiple threads compete to write to
+the same location the request with the smallest value wins".  SetDMin is
+the paper's replacement for MST's fine-grained locks: the min-reduction
+happens inside the collective at the owning thread, so no lock is ever
+taken.
+
+For determinism the simulation resolves SetD's "arbitrary" outcome with
+the same minimum rule — a legal arbitrary-CRCW adjudication that keeps
+results bit-identical across thread counts (the grafting algorithms only
+ever *shrink* labels, so min is also what a real execution converges to).
+
+Structure mirrors GetD with the transfer direction reversed: requesters
+ship coalesced ``(index, value)`` pairs to owners, who apply them to
+their local block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.optimizations import OptimizationFlags
+from ..errors import CollectiveError
+from ..runtime.partitioned import PartitionedArray
+from ..runtime.runtime import PGASRuntime
+from ..runtime.shared_array import SharedArray
+from ..runtime.trace import Category
+from ..scheduling.virtual_threads import charge_local_serve
+from .alltoall import exchange_counts
+from .base import CollectiveContext, apply_offload, compute_owner_threads
+from .getd import (
+    build_transfer_plan,
+    charge_shared_memory_serve,
+    charge_sort,
+    charge_transfers,
+    owner_distinct_counts,
+)
+
+__all__ = ["setd", "setdmin"]
+
+
+def _scatter_collective(
+    rt: PGASRuntime,
+    array: SharedArray,
+    indices: PartitionedArray,
+    values: np.ndarray,
+    opts: OptimizationFlags,
+    ctx: Optional[CollectiveContext],
+    cache_key: Optional[str],
+    tprime: int,
+    sort_method: str,
+    drop_hot: bool,
+    hot_index: int,
+    combine: str = "min",
+    record_words: int = 2,
+) -> int:
+    if indices.parts != rt.s:
+        raise CollectiveError(
+            f"request partition has {indices.parts} parts but the machine has {rt.s} threads"
+        )
+    values = np.asarray(values)
+    if values.shape[0] != indices.total:
+        raise CollectiveError("values must align with the request partition")
+    rt.counters.add(collective_calls=1)
+    _profile_before = rt.phase_start()
+
+    owners = compute_owner_threads(rt, array, indices, opts, ctx, cache_key)
+    if opts.offload and drop_hot:
+        off = apply_offload(rt, indices, owners, opts, hot_index)
+        values = values[off.kept_mask] if off.dropped else values
+    else:
+        off = apply_offload(rt, indices, owners, OptimizationFlags.none(), hot_index)
+
+    charge_sort(rt, off.indices.sizes(), opts, sort_method)
+
+    if rt.machine.nodes == 1:
+        # Shared-memory SetD: each thread applies its own grouped updates
+        # directly, block by block.
+        charge_shared_memory_serve(rt, array, off.indices, tprime)
+        rt.barrier()
+    else:
+        smat, _pmat = exchange_counts(rt, off.indices, off.owners, opts.hierarchical)
+        # Requester -> owner: (index, value) pairs by default; MST ships
+        # wider records (key + endpoints + edge id) via record_words.
+        pair_bytes = record_words * array.nbytes_per_elem
+        plan = build_transfer_plan(rt, smat, charge_to_owner=False, hierarchical=opts.hierarchical)
+        charge_transfers(rt, plan, opts, pair_bytes)
+        # Owners apply the received updates to their local block.
+        received = smat.sum(axis=1)
+        charge_local_serve(
+            rt,
+            received,
+            array.local_sizes().astype(np.float64),
+            tprime,
+            opts.localcpy,
+            category=Category.COPY,
+            bytes_per=array.nbytes_per_elem,
+            distinct=owner_distinct_counts(array, off.indices.data, rt.s),
+        )
+        rt.barrier()
+
+    rt.phase_end(f"setd[{cache_key or 'dyn'}]", indices.total, _profile_before)
+    if combine == "min":
+        return array.scatter_min(off.indices.data, values)
+    if combine == "store_min":
+        return array.scatter_store_min(off.indices.data, values)
+    raise CollectiveError(f"unknown combine mode {combine!r}; use 'min' or 'store_min'")
+
+
+def setd(
+    rt: PGASRuntime,
+    array: SharedArray,
+    indices: PartitionedArray,
+    values: np.ndarray,
+    opts: OptimizationFlags = OptimizationFlags.none(),
+    ctx: Optional[CollectiveContext] = None,
+    cache_key: Optional[str] = None,
+    tprime: int = 1,
+    sort_method: str = "count",
+    drop_hot: bool = False,
+    hot_index: int = 0,
+    combine: str = "min",
+    record_words: int = 2,
+) -> int:
+    """Arbitrary concurrent write collective.
+
+    ``drop_hot=True`` extends the ``offload`` optimization to writes: the
+    caller asserts that writes targeting ``hot_index`` are no-ops (true
+    for grafting — labels only shrink and ``D[0] == 0`` is minimal), so
+    they are dropped before communication.
+
+    ``combine`` chooses the deterministic arbitrary-CRCW adjudication:
+    ``'min'`` (never increases a stored value; correct for grafting) or
+    ``'store_min'`` (plain store of the minimum proposal; needed by
+    Shiloach-Vishkin's stagnant-star hook, which may raise a label).
+    Returns the number of locations whose value changed.
+    """
+    return _scatter_collective(
+        rt, array, indices, values, opts, ctx, cache_key, tprime, sort_method,
+        drop_hot, hot_index, combine, record_words,
+    )
+
+
+def setdmin(
+    rt: PGASRuntime,
+    array: SharedArray,
+    indices: PartitionedArray,
+    values: np.ndarray,
+    opts: OptimizationFlags = OptimizationFlags.none(),
+    ctx: Optional[CollectiveContext] = None,
+    cache_key: Optional[str] = None,
+    tprime: int = 1,
+    sort_method: str = "count",
+    drop_hot: bool = False,
+    hot_index: int = 0,
+    record_words: int = 2,
+) -> int:
+    """Priority (minimum) concurrent write collective — the lock-free
+    replacement for MST's per-supervertex locks.  ``record_words`` sizes
+    the shipped record (MST sends key + endpoints + edge id).  Returns
+    the number of locations whose value changed."""
+    return _scatter_collective(
+        rt, array, indices, values, opts, ctx, cache_key, tprime, sort_method,
+        drop_hot, hot_index, "min", record_words,
+    )

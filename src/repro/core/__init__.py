@@ -1,0 +1,67 @@
+"""High-level API: optimization flags, solvers, results, analysis,
+benchmark calibration."""
+
+from .analysis import (
+    cc_computation_ops,
+    cc_memory_accesses,
+    cc_remote_access_time,
+    cc_serialized_comm_time,
+    cc_smp_noncontig_time,
+    naive_slowdown_estimate,
+    section3_table,
+)
+from .calibration import (
+    DEFAULT_BENCH_N,
+    PAPER_N_FIG3,
+    PAPER_N_LARGE,
+    PAPER_NODES,
+    PAPER_THREADS_PER_NODE,
+    cluster_for_input,
+    machine_for_input,
+    sequential_for_input,
+    smp_for_input,
+)
+from .optimizations import FIG5_ORDER, OptimizationFlags
+from .pipeline import (
+    CC_IMPLS,
+    MST_IMPLS,
+    connected_components,
+    minimum_spanning_forest,
+    spanning_forest,
+)
+from .results import CCResult, MSTResult, SolveInfo, canonical_labels
+from .scaling import ScalingPoint, ScalingStudy, run_scaling_study
+
+__all__ = [
+    "CCResult",
+    "CC_IMPLS",
+    "DEFAULT_BENCH_N",
+    "FIG5_ORDER",
+    "MSTResult",
+    "MST_IMPLS",
+    "OptimizationFlags",
+    "PAPER_NODES",
+    "PAPER_N_FIG3",
+    "PAPER_N_LARGE",
+    "PAPER_THREADS_PER_NODE",
+    "ScalingPoint",
+    "ScalingStudy",
+    "SolveInfo",
+    "run_scaling_study",
+    "canonical_labels",
+    "cc_computation_ops",
+    "cc_memory_accesses",
+    "cc_remote_access_time",
+    "cc_serialized_comm_time",
+    "cc_smp_noncontig_time",
+    "cluster_for_input",
+    "connected_components",
+    "machine_for_input",
+    "minimum_spanning_forest",
+    "spanning_forest",
+    "naive_slowdown_estimate",
+    "section3_table",
+    "sequential_for_input",
+    "section3_table",
+    "smp_for_input",
+]

@@ -1,0 +1,117 @@
+"""Closed-form complexity analysis from the paper's Section III.
+
+The paper derives three expressions for CC and compares fine-grained
+remote access against local memory access on then-current hardware:
+
+* Eq. (1) — computational complexity
+  ``T_C(n, p) = O((n log^2 n + m log n) / p)``;
+* Eq. (2) — memory access complexity under the SMP model
+  ``T_M(n, p) <= n log^2 n / p + (m/p + 2) log n``;
+* Eq. (3) — expected remote-access time of the naive UPC translation
+  ``T_remote <= (p-1)/(p s) (n log n + 4m + 2s) log n (L + 1/B)``;
+* the per-node serialized communication time
+  ``~ (1/p)(n log n + 4m + 2s) log n (L + 1/B)``;
+* and the headline estimate: with Infiniband (190 ns) vs DDR3 (9 ns)
+  constants, "for data access, we estimate CC-UPC is over 20 times
+  slower than CC-SMP".
+
+These are *model* formulas (unit-free counts scaled by per-access
+costs); the benchmark ``bench_sec3_analysis_table`` prints them next to
+the simulator's measured counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..runtime.cost import ELEM_BYTES
+from ..runtime.machine import MachineConfig, infiniband_cluster
+
+__all__ = [
+    "cc_computation_ops",
+    "cc_memory_accesses",
+    "cc_remote_access_time",
+    "cc_serialized_comm_time",
+    "cc_smp_noncontig_time",
+    "naive_slowdown_estimate",
+    "AnalysisRow",
+]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def cc_computation_ops(n: int, m: int, p: int) -> float:
+    """Eq. (1): local operations per processor (constant factor 1)."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return (n * _log2(n) ** 2 + m * _log2(n)) / p
+
+
+def cc_memory_accesses(n: int, m: int, p: int) -> float:
+    """Eq. (2): non-contiguous memory accesses per processor."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return n * _log2(n) ** 2 / p + (m / p + 2) * _log2(n)
+
+
+def cc_remote_access_time(n: int, m: int, machine: MachineConfig) -> float:
+    """Eq. (3): expected per-thread remote access time of naive CC-UPC."""
+    p, s = machine.nodes, machine.total_threads
+    net = machine.network
+    per_access = net.latency + ELEM_BYTES / net.bandwidth
+    return (p - 1) / (p * s) * (n * _log2(n) + 4 * m + 2 * s) * _log2(n) * per_access
+
+
+def cc_serialized_comm_time(n: int, m: int, machine: MachineConfig) -> float:
+    """Per-node communication time when the t threads' blocking messages
+    serialize through the NIC (the paper's ~(1/p)(...) expression)."""
+    p, s = machine.nodes, machine.total_threads
+    net = machine.network
+    per_access = net.latency + ELEM_BYTES / net.bandwidth
+    return (n * _log2(n) + 4 * m + 2 * s) * _log2(n) * per_access / p
+
+
+def cc_smp_noncontig_time(n: int, m: int, machine: MachineConfig) -> float:
+    """Time CC-SMP spends on non-contiguous accesses (Eq. (2) scaled by
+    the memory per-access cost)."""
+    mem = machine.memory
+    per_access = mem.latency + ELEM_BYTES / mem.bandwidth
+    return cc_memory_accesses(n, m, machine.total_threads) * per_access
+
+
+def naive_slowdown_estimate(machine: MachineConfig | None = None) -> float:
+    """The Section III headline: per-access cost ratio of fine-grained
+    remote vs local memory access.  With the paper's quoted constants
+    (Infiniband 190 ns / 4 GB/s vs DDR3 9 ns) this lands near 20."""
+    machine = machine if machine is not None else infiniband_cluster()
+    net, mem = machine.network, machine.memory
+    remote = net.latency + ELEM_BYTES / net.bandwidth
+    local = mem.latency + ELEM_BYTES / mem.bandwidth
+    return remote / local
+
+
+@dataclass(frozen=True)
+class AnalysisRow:
+    """One printable row of the Section III analysis table."""
+
+    quantity: str
+    value: float
+    unit: str
+
+    def render(self) -> str:
+        return f"{self.quantity:<44s} {self.value:14.4g} {self.unit}"
+
+
+def section3_table(n: int, m: int, machine: MachineConfig) -> list[AnalysisRow]:
+    """All Section III quantities for one input/machine combination."""
+    return [
+        AnalysisRow("Eq.(1) T_C ops/processor", cc_computation_ops(n, m, machine.total_threads), "ops"),
+        AnalysisRow("Eq.(2) T_M accesses/processor", cc_memory_accesses(n, m, machine.total_threads), "accesses"),
+        AnalysisRow("Eq.(3) T_remote per thread", cc_remote_access_time(n, m, machine), "s"),
+        AnalysisRow("serialized comm time per node", cc_serialized_comm_time(n, m, machine), "s"),
+        AnalysisRow("CC-SMP non-contiguous access time", cc_smp_noncontig_time(n, m, machine), "s"),
+        AnalysisRow("naive per-access slowdown estimate", naive_slowdown_estimate(machine), "x"),
+    ]

@@ -1,0 +1,165 @@
+"""High-level solver entry points.
+
+The public API a downstream user calls:
+
+>>> from repro import connected_components, random_graph, hps_cluster
+>>> g = random_graph(100_000, 400_000, seed=0)
+>>> result = connected_components(g, machine=hps_cluster(16, 8))
+>>> result.num_components, result.info.sim_time_ms
+
+``impl`` selects the implementation (the paper's configurations);
+``validate=True`` self-checks the answer against the scipy oracle before
+returning.
+"""
+
+from __future__ import annotations
+
+from ..cc.cgm import solve_cc_cgm
+from ..cc.collective import solve_cc_collective
+from ..cc.naive_upc import solve_cc_naive_upc
+from ..cc.sequential import solve_cc_sequential
+from ..cc.smp import solve_cc_smp
+from ..cc.sv import solve_cc_sv
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..graph.validation import check_connected_counts
+from ..mst.collective import solve_mst_collective
+from ..mst.naive_upc import solve_mst_naive_upc
+from ..mst.sequential import solve_mst_sequential
+from ..mst.smp import solve_mst_smp
+from ..mst.verify import check_spanning_forest
+from ..runtime.machine import MachineConfig
+from .optimizations import OptimizationFlags
+from .results import CCResult, MSTResult
+
+
+def resolve_tprime(tprime, machine: MachineConfig | None, n: int) -> int:
+    """Resolve a ``tprime`` argument: an int passes through; ``"auto"``
+    picks the smallest t' whose per-thread sub-block fits the modeled
+    cache (the paper: "the size of t' is chosen such that the block fits
+    into a certain level cache hierarchy, e.g. L2")."""
+    if tprime == "auto":
+        from ..runtime.machine import hps_cluster
+        from ..runtime.cost import CostModel
+        from ..scheduling.cache_model import best_tprime
+
+        m = machine if machine is not None else hps_cluster()
+        block_elems = max(1, n // m.total_threads)
+        return best_tprime(block_elems, CostModel(m))
+    if not isinstance(tprime, int) or tprime < 1:
+        raise ConfigError(f"tprime must be a positive int or 'auto', got {tprime!r}")
+    return tprime
+
+__all__ = [
+    "connected_components",
+    "resolve_tprime",
+    "minimum_spanning_forest",
+    "spanning_forest",
+    "CC_IMPLS",
+    "MST_IMPLS",
+]
+
+CC_IMPLS = ("collective", "sv", "naive", "smp", "sequential", "cgm")
+MST_IMPLS = ("collective", "naive", "smp", "kruskal", "prim", "boruvka")
+
+
+def connected_components(
+    graph: EdgeList,
+    machine: MachineConfig | None = None,
+    impl: str = "collective",
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: "int | str" = 1,
+    sort_method: str = "count",
+    validate: bool = False,
+) -> CCResult:
+    """Solve connected components on the simulated machine.
+
+    Parameters
+    ----------
+    impl:
+        ``'collective'`` (the paper's optimized CC), ``'sv'``
+        (Shiloach-Vishkin with collectives), ``'naive'`` (literal UPC
+        translation), ``'smp'`` (single-node baseline), ``'sequential'``,
+        or ``'cgm'`` (the round-minimizing communication-efficient
+        baseline the paper argues against).
+    opts, tprime, sort_method:
+        Section V optimization flags, the virtual-thread factor, and the
+        grouping sort; only meaningful for the collective/sv impls.
+    validate:
+        Check the labeling against the scipy oracle before returning.
+    """
+    tprime = resolve_tprime(tprime, machine, graph.n)
+    if impl == "collective":
+        result = solve_cc_collective(graph, machine, opts, tprime, sort_method)
+    elif impl == "sv":
+        result = solve_cc_sv(graph, machine, opts, tprime, sort_method)
+    elif impl == "naive":
+        result = solve_cc_naive_upc(graph, machine)
+    elif impl == "smp":
+        result = solve_cc_smp(graph, machine)
+    elif impl == "sequential":
+        result = solve_cc_sequential(graph, machine)
+    elif impl == "cgm":
+        result = solve_cc_cgm(graph, machine)
+    else:
+        raise ConfigError(f"unknown CC impl {impl!r}; expected one of {CC_IMPLS}")
+    if validate:
+        check_connected_counts(result.labels, graph)
+    return result
+
+
+def minimum_spanning_forest(
+    graph: EdgeList,
+    machine: MachineConfig | None = None,
+    impl: str = "collective",
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: "int | str" = 1,
+    sort_method: str = "count",
+    validate: bool = False,
+) -> MSTResult:
+    """Solve minimum spanning forest on the simulated machine.
+
+    ``impl`` is ``'collective'`` (lock-free SetDMin Borůvka),
+    ``'naive'``, ``'smp'`` (lock-based baselines), or a sequential
+    algorithm name (``'kruskal'``, ``'prim'``, ``'boruvka'``).
+    """
+    tprime = resolve_tprime(tprime, machine, graph.n)
+    if impl == "collective":
+        result = solve_mst_collective(graph, machine, opts, tprime, sort_method)
+    elif impl == "naive":
+        result = solve_mst_naive_upc(graph, machine)
+    elif impl == "smp":
+        result = solve_mst_smp(graph, machine)
+    elif impl in ("kruskal", "prim", "boruvka"):
+        result = solve_mst_sequential(graph, machine, algorithm=impl)
+    else:
+        raise ConfigError(f"unknown MST impl {impl!r}; expected one of {MST_IMPLS}")
+    if validate:
+        check_spanning_forest(graph, result.edge_ids)
+    return result
+
+
+def spanning_forest(
+    graph: EdgeList,
+    machine: MachineConfig | None = None,
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: "int | str" = 1,
+    sort_method: str = "count",
+    validate: bool = False,
+) -> MSTResult:
+    """Unweighted spanning forest (the paper's "closely related spanning
+    tree algorithm").
+
+    Runs the collective Borůvka machinery with uniform weights, so the
+    deterministic (weight, edge id) tie-break reduces to edge-id order:
+    the returned forest is the earliest-id spanning forest, identical
+    across machine shapes.  ``total_weight`` equals the edge count.
+    """
+    import numpy as np
+
+    tprime = resolve_tprime(tprime, machine, graph.n)
+    unit = graph.with_weights(np.ones(graph.m, dtype=np.int64))
+    result = solve_mst_collective(unit, machine, opts, tprime, sort_method)
+    if validate:
+        check_spanning_forest(unit, result.edge_ids)
+    return result

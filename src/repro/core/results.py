@@ -1,0 +1,95 @@
+"""Result objects returned by the solvers.
+
+Every solver returns its algorithmic output *plus* the simulation's
+performance accounting: modeled (simulated-cluster) time, the Fig. 5
+category breakdown, raw counters, and the wall-clock cost of running the
+simulation itself (reported for transparency; it is not a performance
+claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..runtime.machine import MachineConfig
+from ..runtime.trace import Trace
+
+__all__ = ["SolveInfo", "CCResult", "MSTResult", "canonical_labels"]
+
+
+@dataclass
+class SolveInfo:
+    """Performance accounting common to all solvers."""
+
+    machine: MachineConfig
+    impl: str
+    sim_time: float
+    wall_time: float
+    iterations: int
+    trace: Trace
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time * 1e3
+
+    def breakdown(self) -> Dict[str, float]:
+        """Average per-thread seconds per Fig. 5 category."""
+        return self.trace.breakdown(self.machine.total_threads)
+
+    def describe(self) -> str:
+        return (
+            f"{self.impl} on {self.machine.name}: sim {self.sim_time * 1e3:.3f} ms"
+            f" in {self.iterations} iteration(s)"
+            f" ({self.trace.counters.remote_messages} messages,"
+            f" {self.trace.counters.remote_bytes} remote bytes)"
+        )
+
+
+@dataclass
+class CCResult:
+    """Connected-components output."""
+
+    labels: np.ndarray
+    info: SolveInfo
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).size) if self.labels.size else 0
+
+    def canonical(self) -> np.ndarray:
+        return canonical_labels(self.labels)
+
+
+@dataclass
+class MSTResult:
+    """Minimum spanning forest output.
+
+    ``edge_ids`` indexes the *input* edge list; the forest's edges are
+    ``(graph.u[edge_ids], graph.v[edge_ids])``.
+    """
+
+    edge_ids: np.ndarray
+    total_weight: int
+    labels: np.ndarray = field(repr=False, default=None)  # final components
+    info: SolveInfo = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_ids.size)
+
+
+def canonical_labels(labels: np.ndarray) -> np.ndarray:
+    """Relabel components canonically: each component gets the smallest
+    vertex id it contains.  Two labelings describe the same partition iff
+    their canonical forms are equal."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return labels.astype(np.int64)
+    uniq, inverse = np.unique(labels, return_inverse=True)
+    # Smallest member vertex per component.
+    mins = np.full(uniq.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(mins, inverse, np.arange(labels.size, dtype=np.int64))
+    return mins[inverse]

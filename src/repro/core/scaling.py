@@ -1,0 +1,119 @@
+"""Scaling-study analytics: speedup, efficiency, serial fraction.
+
+The paper reports raw speedups; a downstream user studying the simulated
+machine usually wants the derived quantities too.  This module computes
+them from a sweep of :class:`~repro.core.results.SolveInfo` objects:
+
+* **speedup** ``S(p) = T_ref / T(p)``;
+* **parallel efficiency** ``E(p) = S(p) / p``;
+* **Karp-Flatt experimentally determined serial fraction**
+  ``e(p) = (1/S - 1/p) / (1 - 1/p)`` — rising ``e`` with ``p`` indicates
+  growing overhead (for this system: the all-to-all setup and the
+  hotspot serves), not an inherent serial component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import ConfigError
+from .results import SolveInfo
+
+__all__ = ["ScalingPoint", "ScalingStudy", "run_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One configuration of a scaling sweep."""
+
+    threads: int
+    sim_time: float
+    speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.threads if self.threads else 0.0
+
+    @property
+    def karp_flatt(self) -> float:
+        """Experimentally determined serial fraction (undefined at p=1)."""
+        p, s = self.threads, self.speedup
+        if p <= 1 or s <= 0:
+            return 0.0
+        return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+@dataclass
+class ScalingStudy:
+    """A reference time plus a series of scaling points."""
+
+    reference_time: float
+    points: List[ScalingPoint]
+
+    @classmethod
+    def from_infos(
+        cls, reference: SolveInfo, infos: Sequence[SolveInfo]
+    ) -> "ScalingStudy":
+        if reference.sim_time <= 0:
+            raise ConfigError("reference run has non-positive simulated time")
+        points = [
+            ScalingPoint(
+                threads=info.machine.total_threads,
+                sim_time=info.sim_time,
+                speedup=reference.sim_time / info.sim_time,
+            )
+            for info in infos
+        ]
+        points.sort(key=lambda pt: pt.threads)
+        return cls(reference.sim_time, points)
+
+    def best(self) -> ScalingPoint:
+        if not self.points:
+            raise ConfigError("empty scaling study")
+        return min(self.points, key=lambda pt: pt.sim_time)
+
+    def table_rows(self) -> List[List[object]]:
+        return [
+            [pt.threads, round(pt.sim_time * 1e3, 4), round(pt.speedup, 3),
+             round(pt.efficiency, 4), round(pt.karp_flatt, 4)]
+            for pt in self.points
+        ]
+
+    def render(self) -> str:
+        from ..bench.report import format_table
+
+        return format_table(
+            ["threads", "sim ms", "speedup", "efficiency", "Karp-Flatt e"],
+            self.table_rows(),
+        )
+
+    def overhead_grows(self) -> bool:
+        """True when the Karp-Flatt fraction rises with thread count —
+        the signature of overhead-bound (not serial-bound) scaling."""
+        usable = [pt for pt in self.points if pt.threads > 1]
+        if len(usable) < 2:
+            return False
+        return usable[-1].karp_flatt > usable[0].karp_flatt
+
+
+def run_scaling_study(
+    solve: Callable[[object], "SolveInfoLike"],
+    machines: Sequence[object],
+    reference_solve: Callable[[], "SolveInfoLike"],
+) -> ScalingStudy:
+    """Run ``solve(machine)`` over the sweep, anchored by
+    ``reference_solve()`` (typically the sequential baseline).
+
+    ``solve`` may return a result object carrying ``.info`` or a
+    :class:`SolveInfo` directly.
+    """
+    def unwrap(result) -> SolveInfo:
+        return result.info if hasattr(result, "info") else result
+
+    reference = unwrap(reference_solve())
+    infos: Dict[int, SolveInfo] = {}
+    for machine in machines:
+        info = unwrap(solve(machine))
+        infos[info.machine.total_threads] = info
+    return ScalingStudy.from_infos(reference, list(infos.values()))

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so downstream users can catch a single base class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "DistributionError",
+    "CollectiveError",
+    "GraphError",
+    "ConvergenceError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid machine, optimization, or solver configuration."""
+
+
+class DistributionError(ReproError, ValueError):
+    """An invalid data distribution request (bad block size, out-of-range
+    thread id, mismatched partition offsets, ...)."""
+
+
+class CollectiveError(ReproError, RuntimeError):
+    """A collective operation was invoked with inconsistent arguments
+    across simulated threads (mismatched participant sets, wrong shapes)."""
+
+
+class GraphError(ReproError, ValueError):
+    """An invalid graph input (negative vertex ids, vertex ids out of
+    range, malformed edge list, impossible generator parameters)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exceeded its iteration safety bound.
+
+    The grafting/pointer-jumping loops of CC and the Boruvka loop of MST
+    are guaranteed to converge in ``O(log n)`` rounds; hitting the safety
+    bound indicates a semantic bug and is reported loudly rather than
+    looping forever.
+    """
+
+
+class VerificationError(ReproError, AssertionError):
+    """A result failed self-verification (invalid forest, wrong component
+    count, ...)."""

@@ -1,0 +1,80 @@
+"""Structural checks over edge lists.
+
+These are used by tests, by the generators' own self-checks, and by the
+examples to demonstrate input hygiene.  Each check raises
+:class:`~repro.errors.GraphError` with a specific message, or returns a
+boolean when called through :func:`is_simple` / :func:`has_self_loops`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .edgelist import EdgeList
+
+__all__ = [
+    "check_simple",
+    "is_simple",
+    "has_self_loops",
+    "check_connected_counts",
+    "count_components_reference",
+    "component_sizes",
+]
+
+
+def has_self_loops(graph: EdgeList) -> bool:
+    return bool(np.any(graph.u == graph.v))
+
+
+def is_simple(graph: EdgeList) -> bool:
+    """True when the graph has no self-loops and no duplicate undirected
+    edges."""
+    if has_self_loops(graph):
+        return False
+    keys = graph.canonical_pairs()
+    return np.unique(keys).size == graph.m
+
+
+def check_simple(graph: EdgeList) -> None:
+    """Raise if the graph is not simple."""
+    if has_self_loops(graph):
+        raise GraphError("graph contains self-loops")
+    keys = graph.canonical_pairs()
+    if np.unique(keys).size != graph.m:
+        raise GraphError("graph contains duplicate undirected edges")
+
+
+def count_components_reference(graph: EdgeList) -> int:
+    """Component count via scipy (the oracle used by tests)."""
+    from scipy.sparse import csgraph
+
+    if graph.n == 0:
+        return 0
+    ncomp, _ = csgraph.connected_components(graph.to_scipy(), directed=False)
+    return int(ncomp)
+
+
+def component_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of the components given a label array (labels need not be
+    contiguous; sizes are returned sorted descending)."""
+    labels = np.asarray(labels)
+    _, counts = np.unique(labels, return_counts=True)
+    return np.sort(counts)[::-1]
+
+
+def check_connected_counts(labels: np.ndarray, graph: EdgeList) -> None:
+    """Verify that a CC labeling is consistent with the graph:
+
+    * endpoints of every edge share a label;
+    * the number of distinct labels equals the reference component count.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (graph.n,):
+        raise GraphError(f"labels must have shape ({graph.n},), got {labels.shape}")
+    if graph.m and np.any(labels[graph.u] != labels[graph.v]):
+        raise GraphError("labeling splits an edge across components")
+    expected = count_components_reference(graph)
+    actual = int(np.unique(labels).size) if graph.n else 0
+    if actual != expected:
+        raise GraphError(f"labeling has {actual} components, reference says {expected}")

@@ -1,0 +1,31 @@
+"""List ranking: the paper's motivating contrast (Section I/II).
+
+Three implementations of distance-to-tail ranking:
+
+* :func:`solve_ranks_sequential` — one dependent pointer chase;
+* :func:`solve_ranks_wyllie` — PRAM pointer jumping with coalescing
+  collectives, every thread busy (the paper's approach);
+* :func:`solve_ranks_cgm` — Dehne et al.'s contract/sequential/broadcast
+  scheme with O(log p)-ish communication rounds but one busy node (the
+  communication-efficient school the paper argues against).
+
+The benchmark ``bench_thesis_listranking.py`` regenerates the paper's
+Section I argument: on large inputs with deep memory hierarchies, the
+coordinated-parallel approach beats the round-minimizing one.
+"""
+
+from .cgm import solve_ranks_cgm
+from .generator import LinkedList, random_list, sequential_list
+from .sequential import charge_pointer_chase, ranks_by_walk, solve_ranks_sequential
+from .wyllie import solve_ranks_wyllie
+
+__all__ = [
+    "LinkedList",
+    "charge_pointer_chase",
+    "random_list",
+    "ranks_by_walk",
+    "sequential_list",
+    "solve_ranks_cgm",
+    "solve_ranks_sequential",
+    "solve_ranks_wyllie",
+]

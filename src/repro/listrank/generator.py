@@ -1,0 +1,91 @@
+"""Linked-list inputs for the list-ranking algorithms.
+
+List ranking is the paper's Section I/II motivating example for the
+communication-efficient (CGM) school it argues against: Dehne et al.'s
+algorithm contracts the distributed list onto one node, ranks it
+sequentially, and broadcasts — O(log p) communication rounds, but one
+busy node with terrible cache behaviour.
+
+A list over ``n`` nodes is a successor array ``succ`` where the tail
+points to itself; the *rank* of a node is its distance to the tail
+(tail rank 0, head rank n-1).  Random lists (successor order drawn from
+a seeded permutation) have no locality whatsoever — the adversarial case
+for everything.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["LinkedList", "random_list", "sequential_list"]
+
+
+@dataclass
+class LinkedList:
+    """A singly linked list as a successor array (tail self-loops)."""
+
+    succ: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.succ = np.ascontiguousarray(self.succ, dtype=np.int64)
+        self.validate()
+
+    @property
+    def n(self) -> int:
+        return int(self.succ.shape[0])
+
+    @property
+    def tail(self) -> int:
+        """The unique self-looping node."""
+        loops = np.flatnonzero(self.succ == np.arange(self.n))
+        return int(loops[0])
+
+    @property
+    def head(self) -> int:
+        """The unique node that is nobody's successor."""
+        indeg = np.bincount(self.succ, minlength=self.n)
+        indeg[self.tail] -= 1  # ignore the tail's self-loop
+        heads = np.flatnonzero(indeg == 0)
+        return int(heads[0])
+
+    def validate(self) -> None:
+        if self.succ.ndim != 1 or self.n == 0:
+            raise GraphError("successor array must be a non-empty 1-D array")
+        if self.succ.min() < 0 or self.succ.max() >= self.n:
+            raise GraphError("successor out of range")
+        loops = np.flatnonzero(self.succ == np.arange(self.n))
+        if loops.size != 1:
+            raise GraphError(f"a list needs exactly one tail, found {loops.size}")
+        indeg = np.bincount(self.succ, minlength=self.n)
+        indeg[loops[0]] -= 1
+        if indeg.max(initial=0) > 1:
+            raise GraphError("a node has two predecessors — not a list")
+        if np.flatnonzero(indeg == 0).size != 1:
+            raise GraphError("a list needs exactly one head")
+
+
+def random_list(n: int, seed: int = 0) -> LinkedList:
+    """A random-order list: node ids carry no positional information."""
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    entropy = [zlib.crc32(b"list"), n & 0xFFFFFFFF, seed & 0xFFFFFFFF]
+    rng = np.random.default_rng(np.random.SeedSequence(entropy))
+    order = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    succ[order[-1]] = order[-1]
+    return LinkedList(succ)
+
+
+def sequential_list(n: int) -> LinkedList:
+    """The identity-order list 0 -> 1 -> ... -> n-1 (best case)."""
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    succ = np.arange(1, n + 1, dtype=np.int64)
+    succ[-1] = n - 1
+    return LinkedList(succ)

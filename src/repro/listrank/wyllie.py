@@ -1,0 +1,78 @@
+"""Wyllie list ranking with coalescing collectives — the paper's way.
+
+The PRAM pointer-jumping algorithm mapped onto the cluster exactly like
+the synchronous short-cutting of CC: every round, each thread reads its
+local successor pointers, collectively fetches the successors' ranks and
+successors (two GetD calls), and doubles.  ``O(log n)`` rounds; all
+threads busy; every byte moved in coalesced messages.
+
+This is the "coordinate multiple processors to process the same input in
+parallel" side of the paper's argument against contraction-style
+communication-efficient algorithms (see :mod:`repro.listrank.cgm`).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..cc.common import check_converged
+from ..collectives.base import CollectiveContext
+from ..collectives.getd import getd
+from ..core.optimizations import OptimizationFlags
+from ..core.results import SolveInfo
+from ..runtime.machine import MachineConfig, hps_cluster
+from ..runtime.partitioned import PartitionedArray
+from ..runtime.runtime import PGASRuntime
+from ..runtime.trace import Category
+from .generator import LinkedList
+
+__all__ = ["solve_ranks_wyllie"]
+
+
+def solve_ranks_wyllie(
+    lst: LinkedList,
+    machine: MachineConfig | None = None,
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: int = 1,
+    sort_method: str = "count",
+) -> tuple[np.ndarray, SolveInfo]:
+    """Rank the list by collective pointer jumping; returns ``(ranks, info)``."""
+    machine = machine if machine is not None else hps_cluster()
+    wall = time.perf_counter()
+    rt = PGASRuntime(machine)
+    n = lst.n
+
+    succ = rt.shared_array(lst.succ.copy())
+    rank = rt.shared_array((lst.succ != np.arange(n)).astype(np.int64))
+    sizes_local = succ.local_sizes().astype(np.float64)
+    vert_offsets = np.zeros(rt.s + 1, dtype=np.int64)
+    np.cumsum(succ.local_sizes(), out=vert_offsets[1:])
+    ctx = CollectiveContext()
+
+    rounds = 0
+    while True:
+        rounds += 1
+        check_converged(rounds, n, "Wyllie list ranking")
+        rt.counters.add(iterations=1)
+        rt.local_stream(sizes_local, Category.COPY)
+        idxp = PartitionedArray(succ.data.copy(), vert_offsets)
+        rank_of_succ = getd(rt, rank, idxp, opts, ctx, None, tprime, sort_method)
+        succ_of_succ = getd(rt, succ, idxp, opts, ctx, None, tprime, sort_method)
+        moved = succ_of_succ != succ.data
+        # rank[tail] stays 0, so the unconditional add is exact.
+        rank.data[:] = rank.data + rank_of_succ
+        succ.data[:] = succ_of_succ
+        rt.local_stream(2.0 * sizes_local, Category.COPY)
+        rt.local_ops(sizes_local)
+        moved_per_thread = PartitionedArray(
+            moved.astype(np.int64), vert_offsets
+        ).segment_sums()
+        if not rt.allreduce_flag(moved_per_thread > 0):
+            break
+
+    info = SolveInfo(
+        machine, "listrank-wyllie", rt.elapsed, time.perf_counter() - wall, rounds, rt.trace
+    )
+    return rank.data.copy(), info

@@ -1,0 +1,185 @@
+"""MST via collectives: Borůvka with GetD/SetD/SetDMin (paper Section IV-A).
+
+"To rewrite MST for efficient execution, we propose a new collective
+SetDMin that obviates the need of locking. ... In the new implementation
+all threads first collectively retrieve the D values for all vertices
+appearing in their local edge lists.  For each edge e = (u, v), when u
+and v belong to different components, all threads collectively assign"
+the minimum-weight candidate to both endpoint supervertices.
+
+Per iteration:
+
+1. ``GetD`` the supervertex labels of every live edge's endpoints;
+2. (``compact``) drop intra-component edges permanently;
+3. ``SetDMin`` packed ``(weight, position)`` candidates into the
+   per-supervertex minimum array — priority concurrent write, no locks;
+4. owners scan their block for winners, emit forest edges, and hook each
+   winning supervertex onto its partner (2-cycles broken toward the
+   smaller label);
+5. lock-step pointer jumping collapses the merged supervertices.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..cc.collective import pointer_jump_to_stars
+from ..cc.common import check_converged
+from ..collectives.base import CollectiveContext
+from ..collectives.getd import getd
+from ..collectives.setd import setdmin
+from ..core.optimizations import OptimizationFlags
+from ..core.results import MSTResult, SolveInfo
+from ..errors import GraphError
+from ..graph.distribute import distribute_edges
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, hps_cluster
+from ..runtime.partitioned import PartitionedArray
+from ..runtime.runtime import PGASRuntime
+from ..runtime.shared_array import SharedArray
+from ..runtime.trace import Category
+from .common import NO_EDGE, break_hook_cycles, extract_winners, pack_candidates
+
+__all__ = ["solve_mst_collective", "partition_by_owner"]
+
+
+def partition_by_owner(indices: np.ndarray, shared: SharedArray) -> PartitionedArray:
+    """Partition a *sorted* index array by owning thread (blocked layout
+    keeps owners monotone, so the split is a searchsorted)."""
+    owners = shared.owner_thread(indices)
+    s = shared.machine.total_threads
+    offsets = np.searchsorted(owners, np.arange(s + 1, dtype=np.int64))
+    return PartitionedArray(np.asarray(indices, dtype=np.int64), offsets)
+
+
+def solve_mst_collective(
+    graph: EdgeList,
+    machine: MachineConfig | None = None,
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: int = 1,
+    sort_method: str = "count",
+) -> MSTResult:
+    """Minimum spanning forest via the lock-free collective Borůvka."""
+    if graph.w is None:
+        raise GraphError("MST needs a weighted graph; use with_random_weights()")
+    machine = machine if machine is not None else hps_cluster()
+    wall_start = time.perf_counter()
+    rt = PGASRuntime(machine)
+    n = graph.n
+    if n == 0 or graph.m == 0:
+        info = SolveInfo(machine, "mst-collective", rt.elapsed, time.perf_counter() - wall_start, 0, rt.trace)
+        labels = np.arange(n, dtype=np.int64)
+        return MSTResult(np.empty(0, dtype=np.int64), 0, labels, info)
+
+    ep = distribute_edges(graph, rt.s)
+    u_part, v_part, w_part = ep.u, ep.v, ep.w
+    id_part = ep.edge_ids()
+    d = rt.shared_array(np.arange(n, dtype=np.int64))
+    minedge = rt.shared_array(np.full(n, NO_EDGE, dtype=np.int64))
+    sizes_local = d.local_sizes().astype(np.float64)
+    vert_offsets = np.zeros(rt.s + 1, dtype=np.int64)
+    np.cumsum(d.local_sizes(), out=vert_offsets[1:])
+    ctx = CollectiveContext()
+    # The `offload` optimization's invariant (D[0] stays 0) holds for CC,
+    # where grafting always hooks larger labels onto smaller ones.  It
+    # does NOT hold for Boruvka: a supervertex hooks along its own
+    # minimum edge regardless of label order, so d[0] may legitimately
+    # rise.  The paper scopes offload to CC/spanning-tree accordingly
+    # ("Fortunately, D[0] remains constant for CC"); MST must fetch
+    # honestly.
+    hot = None
+    jump_opts = opts.with_(offload=False)
+
+    chosen: list[np.ndarray] = []
+    iteration = 0
+    while True:
+        iteration += 1
+        check_converged(iteration, n, "mst-collective")
+        rt.counters.add(iterations=1)
+
+        du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
+        dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
+        cross = du != dv
+        rt.local_ops(u_part.sizes().astype(np.float64))
+        cross_per_thread = u_part.segment_counts_where(cross)
+        if not rt.allreduce_flag(cross_per_thread > 0):
+            break
+
+        if opts.compact and not cross.all():
+            u_part = u_part.filter(cross)
+            v_part = v_part.filter(cross)
+            w_part = w_part.filter(cross)
+            id_part = id_part.filter(cross)
+            du, dv = du[cross], dv[cross]
+            ctx.invalidate()
+            live = u_part
+            du_c, dv_c = du, dv
+            w_c, id_c = w_part.data, id_part.data
+        elif cross.all():
+            live = u_part
+            du_c, dv_c = du, dv
+            w_c, id_c = w_part.data, id_part.data
+        else:
+            live = u_part.filter(cross)
+            du_c, dv_c = du[cross], dv[cross]
+            w_c, id_c = w_part.data[cross], id_part.data[cross]
+
+        # Candidate keys: (weight, live position) packed for min-reduction.
+        positions = np.arange(live.total, dtype=np.int64)
+        keys = pack_candidates(w_c, positions)
+        rt.local_ops(2.0 * live.sizes().astype(np.float64))
+        # Streaming the live edge slice (u, v, w, id) to build the bids.
+        rt.local_stream(4.0 * live.sizes().astype(np.float64), Category.WORK)
+
+        # Reset the per-supervertex minimum array (owner-local).
+        minedge.data[:] = NO_EDGE
+        rt.local_stream(sizes_local, Category.COPY)
+
+        # Every live edge bids for both endpoint supervertices.
+        targets = PartitionedArray.concat_pairwise(
+            live.with_data(du_c), live.with_data(dv_c)
+        )
+        bids = PartitionedArray.concat_pairwise(
+            live.with_data(keys), live.with_data(keys)
+        )
+        # Each bid ships a 4-word record: packed key, both endpoint
+        # labels, and the global edge id.
+        setdmin(
+            rt, minedge, targets, bids.data, opts, None, None, tprime, sort_method,
+            record_words=4,
+        )
+
+        # Owners scan their blocks for winners.
+        rt.local_stream(sizes_local, Category.COPY)
+        roots, pos = extract_winners(minedge.data)
+        chosen.append(np.unique(id_c[pos]))
+        # The winning record's endpoints/edge-id ride along with the key
+        # (the SetDMin payload); charge the owner-side unpack.
+        rt.local_ops(4.0 * float(roots.size) / rt.s)
+
+        # Hook each winning supervertex onto its partner (owner-local
+        # write: minedge and d share the same distribution).
+        ra, rb = du_c[pos], dv_c[pos]
+        partners = ra + rb - roots
+        d.data[roots] = partners
+        hook_writes = np.bincount(d.owner_thread(roots), minlength=rt.s).astype(np.float64)
+        rt.local_stream(hook_writes, Category.COPY)
+
+        # Break mutual hooks; needs d[partner] — a collective gather.
+        partner_part = partition_by_owner(roots, d).with_data(partners)
+        getd(rt, d, partner_part, opts, None, None, tprime, sort_method)
+        break_hook_cycles(d.data, roots)
+        rt.local_ops(float(roots.size))
+
+        pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
+
+    edge_ids = (
+        np.sort(np.concatenate(chosen)) if chosen else np.empty(0, dtype=np.int64)
+    )
+    total = int(graph.w[edge_ids].sum()) if edge_ids.size else 0
+    info = SolveInfo(
+        machine, "mst-collective", rt.elapsed, time.perf_counter() - wall_start, iteration, rt.trace
+    )
+    return MSTResult(edge_ids, total, d.data.copy(), info)

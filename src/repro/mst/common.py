@@ -1,0 +1,98 @@
+"""Shared Borůvka machinery for the MST implementations.
+
+The paper's MST is "a variant of the parallel Borůvka algorithm" with
+supervertex labels instead of graph compaction.  Every implementation in
+this package shares the same per-iteration semantics:
+
+1. every live (cross-component) edge proposes itself as the minimum
+   incident edge of *both* endpoint supervertices;
+2. proposals are packed ``(weight << 32) | live_position`` so that a
+   single minimum reduction picks the lightest edge with a deterministic
+   tie-break (lowest position, hence lowest global edge id);
+3. each supervertex with a winner hooks onto the other endpoint's
+   supervertex; mutual (2-cycle) hooks are broken by keeping the smaller
+   label as root;
+4. supervertex labels collapse to rooted stars by pointer jumping.
+
+With a consistent global tie-break, Borůvka is correct even with equal
+weights, and the chosen forest is identical across implementations and
+thread counts — tests rely on that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = [
+    "WEIGHT_SHIFT",
+    "NO_EDGE",
+    "pack_candidates",
+    "unpack_positions",
+    "unpack_weights",
+    "extract_winners",
+    "break_hook_cycles",
+]
+
+#: Packed key layout: weight in the high 31 bits, live position in the low 32.
+WEIGHT_SHIFT = 32
+#: "No candidate" sentinel for the per-supervertex minimum array.
+NO_EDGE = np.int64(np.iinfo(np.int64).max)
+
+
+def pack_candidates(weights: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Pack (weight, live-position) pairs into one int64 min-reducible key."""
+    weights = np.asarray(weights, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if weights.shape != positions.shape:
+        raise GraphError("weights/positions shape mismatch")
+    if weights.size:
+        if weights.min() < 0 or weights.max() >= (1 << 31):
+            raise GraphError("weights must be in [0, 2^31) for packing")
+        if positions.min() < 0 or positions.max() >= (1 << WEIGHT_SHIFT):
+            raise GraphError("live positions must fit in 32 bits")
+    return (weights << WEIGHT_SHIFT) | positions
+
+
+def unpack_positions(packed: np.ndarray) -> np.ndarray:
+    return np.asarray(packed, dtype=np.int64) & ((np.int64(1) << WEIGHT_SHIFT) - 1)
+
+
+def unpack_weights(packed: np.ndarray) -> np.ndarray:
+    return np.asarray(packed, dtype=np.int64) >> WEIGHT_SHIFT
+
+
+def extract_winners(minedge: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Supervertices that found a candidate and the winning live positions.
+
+    Returns ``(roots, positions)``; a position may appear twice (both
+    endpoints picked the same edge) — deduplication happens when edges
+    are marked, not here, because *hooking* needs the per-root winner.
+    """
+    roots = np.flatnonzero(minedge != NO_EDGE)
+    return roots, unpack_positions(minedge[roots])
+
+
+def break_hook_cycles(parent: np.ndarray, hooked_roots: np.ndarray) -> int:
+    """Resolve mutual hooks: if ``parent[parent[r]] == r`` (a 2-cycle),
+    the smaller label becomes the root.  Returns the number of repaired
+    roots.  Operates in place on ``parent``.
+
+    Borůvka's chosen edges form a pseudo-forest whose only cycles are
+    mutual minimum pairs; with the packed deterministic tie-break both
+    members of such a pair chose the *same* edge, so the 2-cycle is the
+    only case to repair.
+    """
+    parent = np.asarray(parent)
+    r = np.asarray(hooked_roots, dtype=np.int64)
+    if r.size == 0:
+        return 0
+    pr = parent[r]
+    in_cycle = (parent[pr] == r) & (pr != r)
+    # Of each mutual pair (a, b) with a < b, make a the root: parent[a] = a.
+    a = r[in_cycle]
+    b = pr[in_cycle]
+    keep = a < b  # each pair appears twice (once from each side); fix once
+    parent[a[keep]] = a[keep]
+    return int(np.count_nonzero(keep))

@@ -1,0 +1,26 @@
+"""MST-UPC: the naive PGAS translation with remote fine-grained locks.
+
+"The UPC implementation of MST performs poorly on our target platform.
+We had to abort most of the runs after hours passed without
+termination."  The simulation completes (execution and modeled time are
+decoupled) and reports the enormous modeled time the paper could only
+gesture at.
+"""
+
+from __future__ import annotations
+
+from ..core.results import MSTResult
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, hps_cluster
+from .fine_grained import solve_mst_fine_grained
+
+__all__ = ["solve_mst_naive_upc"]
+
+
+def solve_mst_naive_upc(graph: EdgeList, machine: MachineConfig | None = None) -> MSTResult:
+    """Run the literal UPC translation of lock-based Borůvka."""
+    machine = machine if machine is not None else hps_cluster()
+    if machine.nodes < 1:
+        raise ConfigError("naive UPC MST needs a machine")
+    return solve_mst_fine_grained(graph, machine, style="upc")

@@ -1,0 +1,77 @@
+"""Pure-Python reference MST implementations (small inputs).
+
+:func:`reference_kruskal` applies the library's global tie-break
+(weight, then input edge id) exactly, so tests can compare *edge sets*,
+not just totals, against the parallel Borůvka when weights collide.
+:func:`reference_prim` is an independent second opinion on the total.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.edgelist import EdgeList
+
+__all__ = ["reference_kruskal", "reference_prim_weight"]
+
+
+def reference_kruskal(graph: EdgeList) -> tuple[np.ndarray, int]:
+    """Kruskal with (weight, edge id) tie-break.
+
+    Returns ``(edge_ids, total_weight)`` — the unique minimum spanning
+    forest under the library's deterministic edge ordering.
+    """
+    if graph.w is None:
+        raise GraphError("reference Kruskal needs weights")
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    order = np.lexsort((np.arange(graph.m), graph.w))
+    chosen: list[int] = []
+    total = 0
+    for e in order.tolist():
+        a, b = find(int(graph.u[e])), find(int(graph.v[e]))
+        if a != b:
+            parent[a] = b
+            chosen.append(e)
+            total += int(graph.w[e])
+    return np.asarray(sorted(chosen), dtype=np.int64), total
+
+
+def reference_prim_weight(graph: EdgeList) -> int:
+    """Total minimum-spanning-forest weight via Prim with a binary heap
+    (run once per component)."""
+    if graph.w is None:
+        raise GraphError("reference Prim needs weights")
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(graph.n)]
+    for e in range(graph.m):
+        a, b, w = int(graph.u[e]), int(graph.v[e]), int(graph.w[e])
+        if a != b:
+            adj[a].append((w, b))
+            adj[b].append((w, a))
+    seen = [False] * graph.n
+    total = 0
+    for start in range(graph.n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        heap: list[tuple[int, int]] = list(adj[start])
+        heapq.heapify(heap)
+        while heap:
+            w, x = heapq.heappop(heap)
+            if seen[x]:
+                continue
+            seen[x] = True
+            total += w
+            for item in adj[x]:
+                if not seen[item[1]]:
+                    heapq.heappush(heap, item)
+    return total

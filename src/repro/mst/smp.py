@@ -1,0 +1,26 @@
+"""MST-SMP: the lock-based shared-memory baseline (Bader-Cong).
+
+The solid horizontal line of the paper's Figs. 9-10.  On large vertex
+counts its lock overhead makes it barely faster (or slower) than
+sequential Kruskal — the effect the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from ..core.results import MSTResult
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, smp_node
+from .fine_grained import solve_mst_fine_grained
+
+__all__ = ["solve_mst_smp"]
+
+
+def solve_mst_smp(graph: EdgeList, machine: MachineConfig | None = None) -> MSTResult:
+    """Run MST-SMP on a single-node machine (default: 16 threads)."""
+    machine = machine if machine is not None else smp_node(16)
+    if machine.nodes != 1:
+        raise ConfigError(
+            f"MST-SMP is a single-node baseline; got a {machine.nodes}-node machine"
+        )
+    return solve_mst_fine_grained(graph, machine, style="smp")

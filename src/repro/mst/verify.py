@@ -1,0 +1,125 @@
+"""Verification of minimum spanning forests.
+
+The total weight of a minimum spanning forest is unique even when the
+forest itself is not (equal-weight edges), so verification compares:
+
+* structural validity — the chosen edges exist, are distinct, form a
+  forest (no cycles), and span exactly the graph's components;
+* optimality — total weight equals the scipy reference.
+
+Zero weights are legal inputs (the paper draws weights from
+``[0, 2^31)``), but scipy's sparse MST drops explicit zeros; the
+reference therefore runs on ``w + 1`` and shifts back (an affine weight
+shift does not change which forests are minimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from ..errors import VerificationError
+from ..graph.edgelist import EdgeList
+
+__all__ = ["scipy_msf", "reference_msf_weight", "check_spanning_forest"]
+
+
+def _shifted_matrix(graph: EdgeList) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Symmetric CSR of the min-weight-deduplicated graph with weights
+    shifted by +1; also returns the kept global edge positions."""
+    if graph.w is None:
+        raise VerificationError("MST verification needs a weighted graph")
+    keep = graph.dedup_min_weight_index()
+    u, v, w = graph.u[keep], graph.v[keep], graph.w[keep]
+    mat = sparse.coo_matrix(
+        ((w + 1).astype(np.float64), (u, v)), shape=(graph.n, graph.n)
+    ).tocsr()
+    return mat + mat.T, keep
+
+
+def scipy_msf(graph: EdgeList) -> tuple[np.ndarray, int]:
+    """Reference minimum spanning forest via scipy.
+
+    Returns ``(edge_ids, total_weight)`` where ``edge_ids`` index the
+    *input* edge list (each chosen undirected pair mapped back to its
+    minimum-weight earliest occurrence).
+    """
+    if graph.n == 0 or graph.m == 0:
+        return np.empty(0, dtype=np.int64), 0
+    mat, keep = _shifted_matrix(graph)
+    tree = csgraph.minimum_spanning_tree(mat).tocoo()
+    if tree.nnz == 0:
+        return np.empty(0, dtype=np.int64), 0
+    lo = np.minimum(tree.row, tree.col).astype(np.int64)
+    hi = np.maximum(tree.row, tree.col).astype(np.int64)
+    chosen_keys = lo * np.int64(graph.n) + hi
+    sub = graph.take(keep)
+    sub_keys = sub.canonical_pairs()
+    order = np.argsort(sub_keys)
+    pos = order[np.searchsorted(sub_keys[order], chosen_keys)]
+    if not np.array_equal(sub_keys[pos], chosen_keys):  # pragma: no cover - internal
+        raise VerificationError("failed to map scipy MST edges back to the input")
+    edge_ids = keep[pos]
+    total = int(graph.w[edge_ids].sum())
+    return np.sort(edge_ids), total
+
+
+def reference_msf_weight(graph: EdgeList) -> int:
+    """Total weight of any minimum spanning forest of ``graph``."""
+    return scipy_msf(graph)[1]
+
+
+def check_spanning_forest(graph: EdgeList, edge_ids: np.ndarray) -> None:
+    """Raise :class:`VerificationError` unless ``edge_ids`` is a minimum
+    spanning forest of ``graph``."""
+    if graph.w is None:
+        raise VerificationError("MST verification needs a weighted graph")
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    if edge_ids.size != np.unique(edge_ids).size:
+        raise VerificationError("forest contains a duplicate edge id")
+    if edge_ids.size and (edge_ids.min() < 0 or edge_ids.max() >= graph.m):
+        raise VerificationError("edge id out of range")
+
+    # Forest check via union-find; also counts the components it builds.
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in edge_ids.tolist():
+        a, b = find(int(graph.u[e])), find(int(graph.v[e]))
+        if a == b:
+            raise VerificationError(f"edge {e} closes a cycle in the claimed forest")
+        parent[a] = b
+
+    # Must span: forest components == graph components.
+    ncomp_graph = _component_count(graph)
+    ncomp_forest = len({find(i) for i in range(graph.n)})
+    if ncomp_forest != ncomp_graph:
+        raise VerificationError(
+            f"forest leaves {ncomp_forest} components but the graph has {ncomp_graph}"
+        )
+    expected_edges = graph.n - ncomp_graph
+    if int(edge_ids.size) != expected_edges:
+        raise VerificationError(
+            f"forest has {edge_ids.size} edges, expected n - #components = {expected_edges}"
+        )
+
+    total = int(graph.w[edge_ids].sum()) if edge_ids.size else 0
+    expected = reference_msf_weight(graph)
+    if total != expected:
+        raise VerificationError(f"forest weight {total} != minimum {expected}")
+
+
+def _component_count(graph: EdgeList) -> int:
+    if graph.n == 0:
+        return 0
+    if graph.m == 0:
+        return graph.n
+    mat, _ = _shifted_matrix(graph)
+    ncomp, _ = csgraph.connected_components(mat, directed=False)
+    return int(ncomp)

@@ -1,0 +1,277 @@
+"""The simulated PGAS runtime.
+
+:class:`PGASRuntime` ties together a machine description, its cost model,
+per-thread clocks, and an execution trace.  Algorithm code is written in
+a bulk-SPMD style: each step is expressed as an operation over
+:class:`~repro.runtime.partitioned.PartitionedArray` per-thread data, and
+the runtime both *performs* the data movement (NumPy) and *charges* the
+modeled time to the right threads and trace categories.
+
+Two access disciplines are exposed:
+
+* **fine-grained** (:meth:`fine_grained_read` / :meth:`fine_grained_write`)
+  — one small blocking message per remote element, UPC-pointer overhead
+  per local element.  This is what the naive translation of the
+  shared-memory code (Fig. 1 right) compiles to, and why it is three
+  orders of magnitude slower.
+* **coalesced collectives** — implemented in :mod:`repro.collectives`
+  on top of the charging primitives here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CollectiveError
+from .clocks import ThreadClocks
+from .cost import CostModel
+from .machine import MachineConfig
+from .partitioned import PartitionedArray
+from .shared_array import SharedArray
+from .trace import Category, Counters, Trace
+
+__all__ = ["PGASRuntime"]
+
+
+class PGASRuntime:
+    """Executable simulation context for one run of one algorithm.
+
+    ``profile=True`` attaches a :class:`~repro.runtime.profiling.PhaseProfiler`
+    that records one entry per collective call (duration, mean thread
+    time, skew) — the tool for locating hotspots like the serves the
+    ``offload`` optimization defuses.
+    """
+
+    def __init__(self, machine: MachineConfig, profile: bool = False) -> None:
+        self.machine = machine
+        self.cost = CostModel(machine)
+        self.clocks = ThreadClocks(machine)
+        self.trace = Trace()
+        self.profiler = None
+        from .profiling import PhaseProfiler, current_session
+
+        session = current_session()
+        if profile or session is not None:
+            self.profiler = PhaseProfiler()
+            if session is not None:
+                session.profilers.append(self.profiler)
+
+    def phase_start(self) -> "np.ndarray | None":
+        """Snapshot clocks if profiling; collectives call this on entry."""
+        return self.clocks.times.copy() if self.profiler is not None else None
+
+    def phase_end(self, name: str, requests: int, before) -> None:
+        """Record a profiled phase; no-op unless profiling is on.
+
+        The imbalance is read from the most recent barrier (collectives
+        end with one), so hotspots survive the clock equalization.
+        """
+        if self.profiler is not None and before is not None:
+            self.profiler.record(
+                name,
+                requests,
+                before,
+                self.clocks.times,
+                imbalance_s=self.clocks.last_barrier_skew,
+                hottest_thread=getattr(self.clocks, "last_hot_thread", 0),
+            )
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def s(self) -> int:
+        return self.machine.total_threads
+
+    @property
+    def counters(self) -> Counters:
+        return self.trace.counters
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated execution time so far (slowest thread)."""
+        return self.clocks.elapsed
+
+    def shared_array(self, data: np.ndarray, block: int | None = None) -> SharedArray:
+        """Allocate and distribute a shared array, charging each thread
+        for touching (initializing) its local portion."""
+        arr = SharedArray(self.machine, data, block)
+        init = self.cost.seq_access_time(arr.local_sizes(), arr.nbytes_per_elem)
+        self.charge(Category.WORK, init)
+        self.counters.add(local_seq_elements=arr.size)
+        return arr
+
+    # -- charging primitives --------------------------------------------------
+
+    def charge(self, category: str, per_thread_seconds) -> None:
+        """Charge per-thread local time (parallel across threads)."""
+        charged = self.clocks.charge(per_thread_seconds)
+        self.trace.charge_category(category, float(charged.sum()))
+
+    def charge_thread(self, category: str, thread: int, seconds: float) -> None:
+        self.clocks.charge_thread(thread, seconds)
+        self.trace.charge_category(category, seconds)
+
+    def charge_comm(self, per_thread_seconds, serialize: bool = True) -> None:
+        """Charge communication time; by default serialized through each
+        node's NIC (blocking messages from one node share the link)."""
+        if serialize:
+            charged = self.clocks.node_serialize(per_thread_seconds)
+        else:
+            charged = self.clocks.charge(per_thread_seconds)
+        self.trace.charge_category(Category.COMM, float(charged.sum()))
+
+    def barrier(self) -> None:
+        """Full barrier across all simulated threads."""
+        self.clocks.barrier(self.cost.barrier_time())
+        self.counters.add(barriers=1)
+
+    def allreduce_flag(self, flags: np.ndarray) -> bool:
+        """Logical-OR allreduce used for termination detection.
+
+        Synchronizes clocks (it is a collective) and charges a
+        dissemination pattern: ``log2(s)`` rounds of one short message.
+        Returns the reduced boolean.
+        """
+        flags = np.asarray(flags)
+        if flags.shape != (self.s,):
+            raise CollectiveError(
+                f"allreduce expects one flag per thread ({self.s}), got shape {flags.shape}"
+            )
+        rounds = int(np.ceil(np.log2(self.s))) if self.s > 1 else 0
+        self.clocks.barrier(self.cost.barrier_time())
+        self.charge(Category.SETUP, self.cost.allreduce_time())
+        if self.machine.nodes > 1:
+            self.counters.add(remote_messages=rounds * self.s)
+        self.counters.add(barriers=1)
+        return bool(flags.any())
+
+    # -- fine-grained shared access (the naive discipline) ---------------------
+
+    def split_local_remote(
+        self, arr: SharedArray, indices: PartitionedArray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-thread counts of node-local vs remote accesses for the
+        given request partition (requests from thread i target the node
+        owning each index; same node => local)."""
+        owner_nodes = arr.owner_node(indices.data)
+        req_threads = indices.thread_ids()
+        req_nodes = req_threads // self.machine.threads_per_node
+        remote_mask = owner_nodes != req_nodes
+        remote = np.bincount(req_threads[remote_mask], minlength=self.s)
+        local = indices.sizes() - remote
+        return local.astype(np.int64), remote.astype(np.int64)
+
+    def fine_grained_read(self, arr: SharedArray, indices: PartitionedArray) -> np.ndarray:
+        """Element-wise reads ``arr[indices]`` with naive per-access cost.
+
+        Every remote element is a blocking small message (node-serialized);
+        every local element pays a UPC shared-pointer dereference into the
+        node's working set.  Returns the gathered values.
+        """
+        local, remote = self.split_local_remote(arr, indices)
+        w = arr.nbytes_per_elem
+        self.charge_fine_grained(remote, w)
+        self._charge_fine_local(arr, indices, local)
+        return arr.gather(indices.data)
+
+    def _charge_fine_local(
+        self, arr: SharedArray, indices: PartitionedArray, local_counts: np.ndarray
+    ) -> None:
+        """Node-local portion of fine-grained access: a cache-modeled
+        irregular access (cold-miss bounded by the distinct targets) plus
+        the UPC runtime's per-dereference affinity handling."""
+        distinct = np.minimum(
+            indices.segment_distinct().astype(np.float64), local_counts.astype(np.float64)
+        )
+        ws = self.cost.distinct_working_set(distinct, arr.node_working_set_bytes())
+        time = self.cost.gather_time(local_counts, distinct, ws, arr.nbytes_per_elem)
+        time = time + self.cost.op_time(local_counts * self.machine.cpu.upc_deref_factor)
+        self.charge(Category.IRREGULAR, time)
+        self.counters.add(local_random_accesses=int(local_counts.sum()))
+
+    def charge_fine_grained(self, remote_counts: np.ndarray, bytes_per: int) -> None:
+        """Charge fine-grained remote accesses with the blocking/occupancy
+        split: round-trip waits run in parallel across a node's threads;
+        per-message handling serializes through the NIC."""
+        self.charge(Category.COMM, self.cost.fine_grained_blocking_time(remote_counts, bytes_per))
+        self.charge_comm(self.cost.fine_grained_occupancy_time(remote_counts, bytes_per))
+        total = int(np.asarray(remote_counts).sum())
+        self.counters.add(
+            fine_remote_accesses=total,
+            remote_messages=total,
+            remote_bytes=total * bytes_per,
+        )
+
+    def fine_grained_write(
+        self,
+        arr: SharedArray,
+        indices: PartitionedArray,
+        values: np.ndarray,
+        combine: str = "min",
+    ) -> int:
+        """Element-wise writes with naive per-access cost.
+
+        ``combine='min'`` resolves concurrent writes to one location by
+        priority (minimum) — deterministic and a legal arbitrary-CRCW
+        outcome.  ``combine='store'`` asserts targets are unique.
+        Returns the number of changed locations.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != indices.total:
+            raise CollectiveError("values length must match request partition")
+        local, remote = self.split_local_remote(arr, indices)
+        w = arr.nbytes_per_elem
+        self.charge_fine_grained(remote, w)
+        self._charge_fine_local(arr, indices, local)
+        if combine == "min":
+            return arr.scatter_min(indices.data, values)
+        if combine == "store_min":
+            return arr.scatter_store_min(indices.data, values)
+        if combine == "store":
+            uniq = np.unique(indices.data)
+            if uniq.size != indices.total:
+                raise CollectiveError("combine='store' requires unique targets")
+            before = arr.data[indices.data].copy()
+            arr.data[indices.data] = values
+            return int(np.count_nonzero(arr.data[indices.data] != before))
+        raise CollectiveError(f"unknown combine mode {combine!r}")
+
+    # -- local (per-thread) modeled work ---------------------------------------
+
+    def _count_total(self, amount) -> int:
+        """Total element count across threads: scalars broadcast to every
+        thread, arrays are per-thread already."""
+        arr = np.asarray(amount)
+        if arr.ndim == 0:
+            return int(arr) * self.s
+        return int(arr.sum())
+
+    def local_random_access(
+        self, naccesses, working_set_bytes, category: str = Category.COPY
+    ) -> None:
+        """Charge random accesses into per-thread working sets."""
+        self.charge(category, self.cost.random_access_time(naccesses, working_set_bytes))
+        self.counters.add(local_random_accesses=self._count_total(naccesses))
+
+    def local_stream(self, nelems, category: str = Category.WORK) -> None:
+        """Charge streamed sequential passes."""
+        self.charge(category, self.cost.seq_access_time(nelems))
+        self.counters.add(local_seq_elements=self._count_total(nelems))
+
+    def local_ops(self, nops, category: str = Category.WORK) -> None:
+        """Charge simple ALU work."""
+        self.charge(category, self.cost.op_time(nops))
+        self.counters.add(alu_ops=self._count_total(nops))
+
+    # -- structured helpers -----------------------------------------------------
+
+    def run_phase(self, name: str, fn: Callable[[], None]) -> None:
+        """Run a named sub-phase (placeholder hook for tracing tools)."""
+        fn()
+
+    def fork(self) -> "PGASRuntime":
+        """A fresh runtime on the same machine (independent clocks/trace);
+        used by benchmarks that time sub-algorithms in isolation."""
+        return PGASRuntime(self.machine)

@@ -1,0 +1,166 @@
+"""UPC-style shared arrays with blocked distribution.
+
+A UPC declaration ``shared [blk] int64_t D[n]`` distributes ``n`` elements
+across the ``s`` threads in contiguous blocks of ``blk`` elements; the
+default used throughout the paper (and here) is the even blocked layout
+``blk = ceil(n / s)`` so thread ``i`` has affinity to
+``D[i*blk : (i+1)*blk]``.
+
+The class stores the full array as one NumPy vector (the simulation runs
+in one address space) and exposes the *affinity geometry*: which thread
+and node own each index, and each thread's local view.  Cost accounting
+is not done here — the runtime and the collectives charge time based on
+the geometry this class reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DistributionError
+from .machine import MachineConfig
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A blocked-distributed shared array over a simulated machine."""
+
+    __slots__ = ("machine", "data", "block")
+
+    def __init__(self, machine: MachineConfig, data: np.ndarray, block: int | None = None) -> None:
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise DistributionError("shared arrays are one-dimensional")
+        if data.shape[0] == 0:
+            raise DistributionError("cannot distribute an empty array")
+        s = machine.total_threads
+        if block is None:
+            block = -(-data.shape[0] // s)  # ceil division: UPC even blocked layout
+        if block < 1:
+            raise DistributionError(f"block size must be >= 1, got {block}")
+        self.machine = machine
+        self.data = data
+        self.block = int(block)
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def nbytes_per_elem(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def owner_thread(self, indices: np.ndarray) -> np.ndarray:
+        """Thread with affinity to each index (blocked layout)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        owners = idx // self.block
+        # Indices past the last full block belong to the last thread.
+        return np.minimum(owners, self.machine.total_threads - 1)
+
+    def owner_node(self, indices: np.ndarray) -> np.ndarray:
+        """Node hosting each index."""
+        return self.owner_thread(indices) // self.machine.threads_per_node
+
+    def local_range(self, thread: int) -> tuple[int, int]:
+        """Half-open index range with affinity to ``thread``."""
+        s = self.machine.total_threads
+        if not 0 <= thread < s:
+            raise DistributionError(f"thread id {thread} out of range [0, {s})")
+        lo = min(thread * self.block, self.size)
+        hi = min((thread + 1) * self.block, self.size)
+        if thread == s - 1:
+            hi = self.size
+        return lo, hi
+
+    def local_view(self, thread: int) -> np.ndarray:
+        """Writable view of the portion local to ``thread``."""
+        lo, hi = self.local_range(thread)
+        return self.data[lo:hi]
+
+    def local_sizes(self) -> np.ndarray:
+        """Number of elements with affinity to each thread."""
+        s = self.machine.total_threads
+        ends = np.minimum((np.arange(s, dtype=np.int64) + 1) * self.block, self.size)
+        ends[-1] = self.size
+        starts = np.minimum(np.arange(s, dtype=np.int64) * self.block, self.size)
+        return np.maximum(ends - starts, 0)
+
+    def node_working_set_bytes(self) -> float:
+        """Bytes of this array resident on one node (the working set a
+        node-local random access walks over)."""
+        return self.size / self.machine.nodes * self.nbytes_per_elem
+
+    # -- raw access (uncharged; callers account for cost) ----------------------
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Raw ``data[indices]``; bounds-checked."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise DistributionError("shared array index out of range")
+        return self.data[idx]
+
+    def scatter_min(self, indices: np.ndarray, values: np.ndarray) -> int:
+        """Priority (minimum) concurrent write: ``data[i] = min(data[i],
+        v)`` for each pair, resolving duplicate targets deterministically.
+
+        Returns the number of locations actually changed.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if idx.shape != vals.shape:
+            raise DistributionError("indices/values shape mismatch")
+        if idx.size == 0:
+            return 0
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise DistributionError("shared array index out of range")
+        uniq = np.unique(idx)
+        before = self.data[uniq].copy()
+        np.minimum.at(self.data, idx, vals)
+        return int(np.count_nonzero(self.data[uniq] != before))
+
+    def scatter_store_min(self, indices: np.ndarray, values: np.ndarray) -> int:
+        """Unconditional store with deterministic adjudication: each
+        targeted location receives the *minimum of the values proposed
+        for it*, regardless of its current content.
+
+        This differs from :meth:`scatter_min` (which never increases a
+        value) and models an arbitrary-CRCW plain store; it is what the
+        Shiloach-Vishkin stagnant-star hook needs, since that hook may
+        legitimately raise a star root's label.  Returns the number of
+        changed locations.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if idx.shape != vals.shape:
+            raise DistributionError("indices/values shape mismatch")
+        if idx.size == 0:
+            return 0
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise DistributionError("shared array index out of range")
+        sentinel = np.iinfo(np.int64).max
+        proposal = np.full(self.size, sentinel, dtype=np.int64)
+        np.minimum.at(proposal, idx, vals.astype(np.int64))
+        touched = np.flatnonzero(proposal != sentinel)
+        changed = int(np.count_nonzero(self.data[touched] != proposal[touched]))
+        self.data[touched] = proposal[touched].astype(self.data.dtype)
+        return changed
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> int:
+        """Arbitrary concurrent write resolved deterministically: when
+        several values target one location, the minimum wins (a legal
+        arbitrary-CRCW outcome, and the one that keeps results identical
+        across thread counts).  Returns the number of changed locations.
+        """
+        return self.scatter_min(indices, values)
+
+    def snapshot(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedArray(n={self.size}, block={self.block}, dtype={self.data.dtype},"
+            f" s={self.machine.total_threads})"
+        )

@@ -1,0 +1,118 @@
+"""Execution trace: operation counters and time-category breakdown.
+
+The paper's Fig. 5/6 break execution time into six categories; the trace
+records the same six so the optimization-ablation benchmarks can emit the
+same stacked bars:
+
+* ``Comm``      — time in ``upc_memget`` / ``upc_memput`` (bulk transfers
+                  and fine-grained remote accesses);
+* ``Sort``      — sorting/grouping requests by target;
+* ``Copy``      — reading/writing the local portion of shared arrays;
+* ``Irregular`` — reordering retrieved elements to match request order;
+* ``Setup``     — building the SMatrix/PMatrix structures (the all-to-all);
+* ``Work``      — allocation, initialization, target-id computation and
+                  the algorithm's own compute.
+
+Counters additionally record message/byte/access totals so tests can
+assert communication-efficiency claims (e.g. "after rewriting, each
+collective incurs O(p) messages per thread") independent of the time
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+__all__ = ["Category", "Counters", "Trace"]
+
+
+class Category:
+    """The six Fig. 5 time categories (string constants)."""
+
+    COMM = "Comm"
+    SORT = "Sort"
+    COPY = "Copy"
+    IRREGULAR = "Irregular"
+    SETUP = "Setup"
+    WORK = "Work"
+
+    ALL = (COMM, SORT, COPY, IRREGULAR, SETUP, WORK)
+
+
+@dataclass
+class Counters:
+    """Raw operation counts accumulated over a run."""
+
+    remote_messages: int = 0
+    remote_bytes: int = 0
+    fine_remote_accesses: int = 0
+    local_random_accesses: int = 0
+    local_seq_elements: int = 0
+    alu_ops: int = 0
+    lock_ops: int = 0
+    lock_inits: int = 0
+    barriers: int = 0
+    collective_calls: int = 0
+    sorted_elements: int = 0
+    iterations: int = 0
+
+    def add(self, **deltas: int) -> None:
+        for key, value in deltas.items():
+            if not hasattr(self, key):
+                raise AttributeError(f"unknown counter {key!r}")
+            setattr(self, key, getattr(self, key) + int(value))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: int(v) for k, v in self.__dict__.items()}
+
+
+@dataclass
+class Trace:
+    """Counters plus per-category accumulated thread-seconds.
+
+    ``category_seconds[c]`` is the total time charged to category ``c``
+    summed over all threads; divide by the thread count for the average
+    per-thread breakdown the figures report.
+    """
+
+    counters: Counters = field(default_factory=Counters)
+    category_seconds: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in Category.ALL}
+    )
+
+    def charge_category(self, category: str, thread_seconds: float) -> None:
+        if category not in self.category_seconds:
+            raise KeyError(f"unknown time category {category!r}; expected one of {Category.ALL}")
+        if thread_seconds < 0:
+            raise ValueError("cannot charge negative time to a category")
+        self.category_seconds[category] += float(thread_seconds)
+
+    def breakdown(self, nthreads: int) -> Dict[str, float]:
+        """Average per-thread seconds in each category."""
+        if nthreads <= 0:
+            raise ValueError("nthreads must be positive")
+        return {c: v / nthreads for c, v in self.category_seconds.items()}
+
+    def total_thread_seconds(self) -> float:
+        return sum(self.category_seconds.values())
+
+    def merge(self, other: "Trace") -> None:
+        """Accumulate another trace into this one (used when a solve is
+        composed of sub-phases traced separately)."""
+        for key, value in other.counters.as_dict().items():
+            self.counters.add(**{key: value})
+        for cat, sec in other.category_seconds.items():
+            self.category_seconds[cat] += sec
+
+    def summary_lines(self, nthreads: int) -> Iterable[str]:
+        bd = self.breakdown(nthreads)
+        yield "category breakdown (avg seconds/thread):"
+        for cat in Category.ALL:
+            yield f"  {cat:<10s} {bd[cat] * 1e3:10.3f} ms"
+        c = self.counters
+        yield (
+            f"counters: msgs={c.remote_messages} bytes={c.remote_bytes}"
+            f" fine={c.fine_remote_accesses} rand={c.local_random_accesses}"
+            f" locks={c.lock_ops} barriers={c.barriers} colls={c.collective_calls}"
+        )

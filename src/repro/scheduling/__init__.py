@@ -1,0 +1,55 @@
+"""Access scheduling: the paper's Algorithm 1 and its cache machinery.
+
+* :mod:`access_schedule` — the recursive partition/group/access/permute
+  scheduler (gather and min-scatter forms);
+* :mod:`countsort` — stable linear-time grouping;
+* :mod:`cache_model` — the paper's Eq. (4)/(5) closed forms;
+* :mod:`cache_sim` — exact cache simulators validating the model;
+* :mod:`virtual_threads` — the in-node ``t'`` virtualization (Fig. 4).
+"""
+
+from .access_schedule import (
+    ScheduleStats,
+    schedule_plan,
+    scheduled_gather,
+    scheduled_scatter_min,
+)
+from .cache_model import (
+    GatherTimeBreakdown,
+    best_tprime,
+    scheduled_gather_time,
+    scheduling_beneficial,
+    unscheduled_gather_time,
+)
+from .cache_sim import (
+    CacheSimResult,
+    simulate_direct_mapped,
+    simulate_set_associative,
+    trace_of_gather,
+    trace_of_scheduled_gather,
+)
+from .countsort import bucket_offsets, counting_sort_permutation, group_by_key
+from .virtual_threads import charge_local_serve, sub_block_elems, virtual_gather
+
+__all__ = [
+    "CacheSimResult",
+    "GatherTimeBreakdown",
+    "ScheduleStats",
+    "best_tprime",
+    "bucket_offsets",
+    "charge_local_serve",
+    "counting_sort_permutation",
+    "group_by_key",
+    "schedule_plan",
+    "scheduled_gather",
+    "scheduled_gather_time",
+    "scheduled_scatter_min",
+    "scheduling_beneficial",
+    "simulate_direct_mapped",
+    "simulate_set_associative",
+    "sub_block_elems",
+    "trace_of_gather",
+    "trace_of_scheduled_gather",
+    "unscheduled_gather_time",
+    "virtual_gather",
+]

@@ -1,0 +1,106 @@
+"""Virtual-thread simulation (the paper's ``t'`` parameter).
+
+Applying one more recursion level of Algorithm 1 *inside* a node would
+need dynamic scheduling of distributed activities, which UPC lacks; the
+paper instead has each of the ``t`` physical threads simulate ``t'``
+virtual threads: its local ``D`` block is split into ``t'`` sub-blocks,
+requests are grouped per sub-block, and each sub-block is served while it
+is cache-resident.  Fig. 4 sweeps ``t'`` and finds a U-shaped optimum
+(12-18 for the paper's inputs): larger ``t'`` shrinks the working set,
+but every extra virtual thread adds grouping work.
+
+:func:`virtual_gather` is the executable primitive (used in tests and in
+the ablation bench with the exact cache simulator);
+:func:`charge_local_serve` is the cost hook GetD/SetD call to account
+for a local serve phase under a given ``t'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..runtime.cost import ELEM_BYTES
+from ..runtime.runtime import PGASRuntime
+from ..runtime.trace import Category
+from .countsort import group_by_key
+
+__all__ = ["virtual_gather", "charge_local_serve", "sub_block_elems"]
+
+
+def sub_block_elems(block_elems, tprime: int):
+    """Elements per virtual-thread sub-block (scalar or per-thread array)."""
+    if tprime < 1:
+        raise ConfigError(f"t' must be >= 1, got {tprime}")
+    return np.maximum(1.0, np.asarray(block_elems, dtype=np.float64) / tprime)
+
+
+def virtual_gather(
+    local_d: np.ndarray, local_r: np.ndarray, tprime: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Serve local requests ``local_d[local_r]`` through ``t'`` virtual
+    threads.
+
+    Returns ``(values, access_trace)`` where ``access_trace`` is the
+    order in which ``local_d`` indices are actually touched (grouped per
+    sub-block) — feed it to :mod:`repro.scheduling.cache_sim` to observe
+    the miss reduction.
+    """
+    local_d = np.asarray(local_d)
+    local_r = np.asarray(local_r, dtype=np.int64)
+    if tprime < 1:
+        raise ConfigError(f"t' must be >= 1, got {tprime}")
+    n = local_d.shape[0]
+    if local_r.size and (local_r.min() < 0 or local_r.max() >= n):
+        raise ConfigError("local request out of range")
+    if tprime == 1 or n <= 1:
+        return local_d[local_r], local_r.copy()
+    w = min(tprime, n)
+    blk = -(-n // w)
+    perm, _, _ = group_by_key(local_r // blk, w)
+    trace = local_r[perm]
+    served = local_d[trace]
+    out = np.empty_like(served)
+    out[perm] = served
+    return out, trace
+
+
+def charge_local_serve(
+    rt: PGASRuntime,
+    nreq,
+    block_elems,
+    tprime: int,
+    localcpy: bool,
+    category: str = Category.COPY,
+    bytes_per: int = ELEM_BYTES,
+    distinct=None,
+) -> None:
+    """Charge the cost of serving ``nreq`` local requests (per-thread
+    array) out of blocks of ``block_elems`` elements under ``t'`` virtual
+    threads.
+
+    * ``tprime > 1`` adds the virtual-thread grouping passes;
+    * the working set shrinks to ``block / t'`` — and, when the
+      per-thread ``distinct`` target counts are supplied, to the
+      cold-miss bound (duplicated requests hit cache);
+    * without ``localcpy``, every access also pays the UPC shared-pointer
+      dereference overhead the compiler emits for unrecognized-local
+      accesses.
+    """
+    if tprime < 1:
+        raise ConfigError(f"t' must be >= 1, got {tprime}")
+    nreq = np.asarray(nreq, dtype=np.float64)
+    block_bytes = np.asarray(block_elems, dtype=np.float64) * bytes_per
+    if tprime > 1:
+        # Each simulated virtual thread streams the received buffer to
+        # pick out its sub-block's requests: t' grouping passes.
+        rt.charge(Category.SORT, rt.cost.virtual_scan_time(nreq, tprime, bytes_per))
+        rt.counters.add(sorted_elements=int(nreq.sum()))
+    if distinct is None:
+        distinct = nreq
+    ws_bytes = rt.cost.distinct_working_set(distinct, block_bytes, tprime)
+    serve = rt.cost.gather_time(nreq, distinct, ws_bytes, bytes_per, mlp=rt.cost.GATHER_MLP)
+    if not localcpy:
+        serve = serve + rt.cost.op_time(nreq * rt.machine.cpu.upc_deref_factor)
+    rt.charge(category, serve)
+    rt.counters.add(local_random_accesses=int(nreq.sum()))

@@ -1,0 +1,163 @@
+"""Tests for Algorithm 1 (repro.scheduling.access_schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.scheduling import (
+    schedule_plan,
+    scheduled_gather,
+    scheduled_scatter_min,
+)
+
+
+class TestScheduledGather:
+    def test_matches_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        d = rng.integers(0, 1000, 500)
+        r = rng.integers(0, 500, 3000)
+        out, stats = scheduled_gather(d, r, (8,))
+        assert np.array_equal(out, d[r])
+        assert stats.levels == 1
+
+    def test_two_levels(self):
+        rng = np.random.default_rng(1)
+        d = rng.integers(0, 100, 256)
+        r = rng.integers(0, 256, 1000)
+        out, stats = scheduled_gather(d, r, (4, 4))
+        assert np.array_equal(out, d[r])
+        assert stats.levels == 2
+
+    def test_three_levels_max_depth(self):
+        rng = np.random.default_rng(2)
+        d = rng.integers(0, 100, 512)
+        r = rng.integers(0, 512, 2000)
+        out, stats = scheduled_gather(d, r, (4, 4, 4))
+        assert np.array_equal(out, d[r])
+        assert stats.levels == 3
+
+    def test_depth_limited_to_three(self):
+        with pytest.raises(DistributionError):
+            schedule_plan(100, 2, 2, 2, 2)
+
+    def test_w_equal_one_is_direct(self):
+        d = np.arange(100)
+        r = np.array([3, 99, 0])
+        out, stats = scheduled_gather(d, r, (1,))
+        assert np.array_equal(out, d[r])
+        assert stats.sorted_elements == 0  # no grouping happened
+
+    def test_empty_requests(self):
+        out, stats = scheduled_gather(np.arange(10), np.empty(0, dtype=np.int64), (2,))
+        assert out.size == 0
+
+    def test_duplicate_requests(self):
+        d = np.arange(20) * 7
+        r = np.array([5, 5, 5, 5])
+        out, _ = scheduled_gather(d, r, (4,))
+        assert np.all(out == 35)
+
+    def test_request_out_of_range(self):
+        with pytest.raises(DistributionError):
+            scheduled_gather(np.arange(10), np.array([10]), (2,))
+        with pytest.raises(DistributionError):
+            scheduled_gather(np.arange(10), np.array([-1]), (2,))
+
+    def test_w_larger_than_n_clamped(self):
+        d = np.arange(5)
+        r = np.array([0, 4, 2])
+        out, _ = scheduled_gather(d, r, (5,))
+        assert np.array_equal(out, d[r])
+
+    def test_bad_w_rejected(self):
+        with pytest.raises(DistributionError):
+            schedule_plan(10, 0)
+        with pytest.raises(DistributionError):
+            schedule_plan(10, 11)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(DistributionError):
+            scheduled_gather(np.zeros((2, 2)), np.array([0]), (2,))
+
+    def test_stats_count_work(self):
+        rng = np.random.default_rng(3)
+        d = rng.integers(0, 10, 64)
+        r = rng.integers(0, 64, 100)
+        _, stats = scheduled_gather(d, r, (4, 4))
+        assert stats.sorted_elements >= 100  # level 0 sorts everything
+        assert stats.blocks_visited >= 4
+        assert stats.base_accesses == 100
+
+    def test_miss_model_improves_with_blocks(self):
+        rng = np.random.default_rng(4)
+        d = rng.integers(0, 10, 4096)
+        r = rng.integers(0, 4096, 20_000)
+        _, flat = scheduled_gather(d, r, (1,))
+        _, blocked = scheduled_gather(d, r, (64,))
+        cache_elems = 128
+        assert blocked.modeled_misses(cache_elems) < flat.modeled_misses(cache_elems)
+
+
+class TestScheduledScatterMin:
+    def test_matches_minimum_at(self):
+        rng = np.random.default_rng(5)
+        d = rng.integers(0, 1000, 300).astype(np.int64)
+        r = rng.integers(0, 300, 2000)
+        vals = rng.integers(0, 1000, 2000)
+        expected = d.copy()
+        np.minimum.at(expected, r, vals)
+        stats = scheduled_scatter_min(d, r, vals, (8,))
+        assert np.array_equal(d, expected)
+        assert stats.base_accesses == 2000
+
+    def test_two_levels(self):
+        rng = np.random.default_rng(6)
+        d = rng.integers(0, 100, 128).astype(np.int64)
+        r = rng.integers(0, 128, 500)
+        vals = rng.integers(0, 100, 500)
+        expected = d.copy()
+        np.minimum.at(expected, r, vals)
+        scheduled_scatter_min(d, r, vals, (4, 4))
+        assert np.array_equal(d, expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DistributionError):
+            scheduled_scatter_min(np.arange(10), np.array([1, 2]), np.array([1]), (2,))
+
+    def test_out_of_range(self):
+        with pytest.raises(DistributionError):
+            scheduled_scatter_min(np.arange(10), np.array([99]), np.array([1]), (2,))
+
+
+@given(
+    n=st.integers(1, 300),
+    k=st.integers(0, 500),
+    ws=st.lists(st.integers(1, 16), min_size=1, max_size=3),
+    seed=st.integers(0, 20),
+)
+def test_property_gather_equivalence(n, k, ws, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.integers(-1000, 1000, n)
+    r = rng.integers(0, n, k)
+    ws = tuple(min(w, n) for w in ws)
+    out, _ = scheduled_gather(d, r, ws)
+    assert np.array_equal(out, d[r])
+
+
+@given(
+    n=st.integers(1, 200),
+    k=st.integers(0, 300),
+    w=st.integers(1, 12),
+    seed=st.integers(0, 20),
+)
+def test_property_scatter_equivalence(n, k, w, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.integers(0, 500, n).astype(np.int64)
+    r = rng.integers(0, n, k)
+    vals = rng.integers(0, 500, k)
+    expected = d.copy()
+    np.minimum.at(expected, r, vals)
+    scheduled_scatter_min(d, r, vals, (min(w, n),))
+    assert np.array_equal(d, expected)

@@ -1,0 +1,150 @@
+"""Tests for the analytic cache model and the exact cache simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import CacheParams, CostModel, smp_node
+from repro.scheduling import (
+    best_tprime,
+    scheduled_gather_time,
+    scheduling_beneficial,
+    simulate_direct_mapped,
+    simulate_set_associative,
+    trace_of_gather,
+    trace_of_scheduled_gather,
+    unscheduled_gather_time,
+)
+
+
+@pytest.fixture
+def cm():
+    return CostModel(smp_node(16))
+
+
+class TestEquations:
+    def test_eq4_linear_in_m(self, cm):
+        assert unscheduled_gather_time(2_000_000, cm) == pytest.approx(
+            2 * unscheduled_gather_time(1_000_000, cm)
+        )
+
+    def test_eq5_breakdown_sums(self, cm):
+        bd = scheduled_gather_time(400_000, 100_000, 16, cm)
+        assert bd.total == pytest.approx(
+            bd.sort + bd.route + bd.access + bd.collect + bd.permute
+        )
+
+    def test_paper_condition_m_gt_3n(self, cm):
+        # m > 3n and L_M * B_M >> 9: scheduling helps.
+        assert scheduling_beneficial(400_000, 100_000, cm)
+        assert scheduled_gather_time(400_000, 100_000, 16, cm).total < (
+            unscheduled_gather_time(400_000, cm)
+        )
+
+    def test_scheduling_not_beneficial_for_sparse_requests(self, cm):
+        # m << n: almost no reuse, scheduling overhead dominates.
+        assert not scheduling_beneficial(1_000, 1_000_000, cm)
+
+    def test_access_phase_bounded_by_n_misses(self, cm):
+        bd = scheduled_gather_time(10_000_000, 1_000, 4, cm)
+        mem = cm.machine.memory
+        assert bd.access <= 1_000 * mem.latency + 10_000_000 * 8 / mem.bandwidth + 1e-9
+
+
+class TestBestTprime:
+    def test_fit_point(self, cm):
+        cache = cm.machine.cache.size_bytes
+        block = 4 * cache // 8  # four caches worth of elements
+        assert best_tprime(block, cm) == 4
+
+    def test_already_fits(self, cm):
+        assert best_tprime(10, cm) == 1
+
+    def test_clamped_to_max(self, cm):
+        assert best_tprime(10**12, cm, max_tprime=32) == 32
+
+
+class TestCacheSimulators:
+    def small_cache(self):
+        return CacheParams(size_bytes=512, line_bytes=64, associativity=2)
+
+    def test_sequential_scan_mostly_hits(self):
+        cache = self.small_cache()
+        trace = np.repeat(np.arange(64), 8)  # 8 consecutive touches per line
+        res = simulate_set_associative(trace, cache)
+        assert res.miss_rate < 0.2
+
+    def test_repeated_small_set_hits(self):
+        cache = self.small_cache()
+        trace = np.tile(np.arange(4) * 8, 100)
+        res = simulate_set_associative(trace, cache)
+        assert res.misses <= 8
+
+    def test_random_large_set_misses(self):
+        cache = self.small_cache()
+        trace = np.random.default_rng(0).integers(0, 100_000, 2000)
+        res = simulate_set_associative(trace, cache)
+        assert res.miss_rate > 0.8
+
+    def test_direct_mapped_conflicts(self):
+        cache = CacheParams(size_bytes=512, line_bytes=64, associativity=1)
+        # two addresses mapping to the same set ping-pong in direct-mapped
+        a, b = 0, cache.num_lines * 8  # same set, different tags
+        trace = np.array([a, b] * 50)
+        res = simulate_direct_mapped(trace, cache)
+        assert res.misses == 100
+
+    def test_set_associative_resists_pingpong(self):
+        cache = CacheParams(size_bytes=512, line_bytes=64, associativity=2)
+        a, b = 0, cache.num_lines // 2 * 8
+        trace = np.array([a, b] * 50)
+        res = simulate_set_associative(trace, cache)
+        assert res.misses <= 4
+
+    def test_line_must_divide_elements(self):
+        cache = CacheParams(size_bytes=512, line_bytes=60, associativity=1)
+        with pytest.raises(ConfigError):
+            simulate_direct_mapped(np.array([0]), cache, elem_bytes=8)
+
+    def test_result_counts(self):
+        cache = self.small_cache()
+        res = simulate_set_associative(np.array([0, 0, 0]), cache)
+        assert res.accesses == 3 and res.misses == 1
+        assert res.miss_rate == pytest.approx(1 / 3)
+
+    def test_empty_trace(self):
+        res = simulate_set_associative(np.empty(0, dtype=np.int64), self.small_cache())
+        assert res.accesses == 0 and res.miss_rate == 0.0
+
+
+class TestScheduledTraceValidation:
+    """The analytic claim — scheduling reduces misses — holds on the
+    exact simulator, not just in the model."""
+
+    def test_scheduled_trace_reduces_misses(self):
+        cache = CacheParams(size_bytes=1024, line_bytes=8, associativity=2)
+        rng = np.random.default_rng(1)
+        n = 5000
+        r = rng.integers(0, n, 20_000)
+        plain = simulate_set_associative(trace_of_gather(r), cache)
+        grouped = simulate_set_associative(trace_of_scheduled_gather(r, n, 32), cache)
+        assert grouped.misses < plain.misses
+
+    def test_more_blocks_fewer_misses(self):
+        cache = CacheParams(size_bytes=1024, line_bytes=8, associativity=2)
+        rng = np.random.default_rng(2)
+        n = 5000
+        r = rng.integers(0, n, 20_000)
+        few = simulate_set_associative(trace_of_scheduled_gather(r, n, 4), cache)
+        many = simulate_set_associative(trace_of_scheduled_gather(r, n, 64), cache)
+        assert many.misses < few.misses
+
+    def test_trace_is_permutation_of_requests(self):
+        rng = np.random.default_rng(3)
+        r = rng.integers(0, 100, 500)
+        trace = trace_of_scheduled_gather(r, 100, 8)
+        assert np.array_equal(np.sort(trace), np.sort(r))
+
+    def test_bad_w(self):
+        with pytest.raises(ConfigError):
+            trace_of_scheduled_gather(np.array([0]), 10, 0)

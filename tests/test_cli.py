@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cc_defaults(self):
+        args = build_parser().parse_args(["cc"])
+        assert args.impl == "collective"
+        assert args.machine == "16x8"
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cc", "--impl", "magic"])
+
+
+class TestCommands:
+    def test_cc_runs(self, capsys):
+        assert main(["cc", "--n", "2000", "--machine", "4x2", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "components:" in out
+        assert "modeled" in out
+
+    def test_cc_hybrid_kind(self, capsys):
+        assert main(["cc", "--n", "2000", "--kind", "hybrid", "--machine", "4x2"]) == 0
+
+    def test_cc_smp_machine(self, capsys):
+        assert main(["cc", "--n", "2000", "--machine", "smp", "--impl", "smp"]) == 0
+
+    def test_cc_seq_machine(self, capsys):
+        assert main(["cc", "--n", "2000", "--machine", "seq", "--impl", "sequential"]) == 0
+
+    def test_cc_custom_opts(self, capsys):
+        assert main(
+            ["cc", "--n", "2000", "--machine", "4x2", "--opts", "compact,circular"]
+        ) == 0
+
+    def test_cc_hierarchical(self, capsys):
+        assert main(["cc", "--n", "2000", "--machine", "4x2", "--hierarchical"]) == 0
+
+    def test_mst_runs(self, capsys):
+        assert main(["mst", "--n", "2000", "--machine", "4x2", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "total weight" in out
+
+    def test_mst_kruskal(self, capsys):
+        assert main(["mst", "--n", "2000", "--machine", "seq", "--impl", "kruskal"]) == 0
+
+    def test_listrank_all_impls(self, capsys):
+        for impl in ("wyllie", "cgm", "sequential"):
+            assert main(["listrank", "--n", "500", "--machine", "4x2", "--impl", impl]) == 0
+            out = capsys.readouterr().out
+            assert "True" in out  # head rank == n-1 check printed
+
+    def test_info(self, capsys):
+        assert main(["info", "--n", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "hps_cluster" in out
+        assert "per-call scale" in out
+
+    def test_figures_subset(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        assert main(["figures", "--scale", "0.05", "--only", "sec3"]) == 0
+        out = capsys.readouterr().out
+        assert "Sec. III" in out
+
+    def test_figures_unknown_key(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        with pytest.raises(SystemExit):
+            main(["figures", "--only", "fig99"])
+
+    def test_bad_machine_spec(self):
+        with pytest.raises(SystemExit):
+            main(["cc", "--n", "1000", "--machine", "banana"])
+
+    def test_bad_opts(self):
+        with pytest.raises(SystemExit):
+            main(["cc", "--n", "1000", "--machine", "4x2", "--opts", "warp"])
+
+
+class TestBfsCommand:
+    def test_bfs_runs(self, capsys):
+        assert main(["bfs", "--n", "2000", "--machine", "4x2"]) == 0
+        out = capsys.readouterr().out
+        assert "reached" in out
+
+    def test_bfs_custom_source(self, capsys):
+        assert main(["bfs", "--n", "2000", "--machine", "4x2", "--source", "7"]) == 0
+
+    def test_bfs_sequential(self, capsys):
+        assert main(["bfs", "--n", "2000", "--machine", "seq", "--impl", "sequential"]) == 0

@@ -1,0 +1,107 @@
+"""Tests for per-thread virtual clocks (repro.runtime.clocks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import ThreadClocks, hps_cluster, sequential_machine
+
+
+@pytest.fixture
+def clocks():
+    return ThreadClocks(hps_cluster(2, 2))
+
+
+class TestCharge:
+    def test_scalar_broadcasts(self, clocks):
+        clocks.charge(1.0)
+        assert np.allclose(clocks.times, 1.0)
+
+    def test_array_per_thread(self, clocks):
+        amounts = np.array([1.0, 2.0, 3.0, 4.0])
+        clocks.charge(amounts)
+        assert np.allclose(clocks.times, amounts)
+
+    def test_rejects_negative(self, clocks):
+        with pytest.raises(ConfigError):
+            clocks.charge(-1.0)
+
+    def test_rejects_wrong_shape(self, clocks):
+        with pytest.raises(ConfigError):
+            clocks.charge(np.ones(3))
+
+    def test_charge_thread(self, clocks):
+        clocks.charge_thread(2, 5.0)
+        assert clocks.times[2] == 5.0
+        assert clocks.times[0] == 0.0
+
+    def test_charge_thread_bounds(self, clocks):
+        with pytest.raises(ConfigError):
+            clocks.charge_thread(7, 1.0)
+        with pytest.raises(ConfigError):
+            clocks.charge_thread(0, -1.0)
+
+    def test_returns_charged_amounts(self, clocks):
+        out = clocks.charge(2.0)
+        assert np.allclose(out, 2.0)
+
+
+class TestNodeSerialize:
+    def test_threads_on_node_share_link(self, clocks):
+        # Node 0 has threads 0,1; node 1 has threads 2,3.
+        charged = clocks.node_serialize(np.array([1.0, 2.0, 0.0, 0.5]))
+        assert np.allclose(charged, [3.0, 3.0, 0.5, 0.5])
+        assert np.allclose(clocks.times, [3.0, 3.0, 0.5, 0.5])
+
+    def test_zero_traffic_is_free(self, clocks):
+        clocks.node_serialize(0.0)
+        assert np.allclose(clocks.times, 0.0)
+
+    def test_single_thread_machine(self):
+        c = ThreadClocks(sequential_machine())
+        c.node_serialize(np.array([2.0]))
+        assert c.elapsed == 2.0
+
+
+class TestBarrier:
+    def test_equalizes_to_max(self, clocks):
+        clocks.charge(np.array([1.0, 5.0, 2.0, 0.0]))
+        now = clocks.barrier()
+        assert now == 5.0
+        assert np.allclose(clocks.times, 5.0)
+
+    def test_barrier_cost_added(self, clocks):
+        clocks.charge(np.array([1.0, 5.0, 2.0, 0.0]))
+        clocks.barrier(0.5)
+        assert np.allclose(clocks.times, 5.5)
+
+    def test_rejects_negative_cost(self, clocks):
+        with pytest.raises(ConfigError):
+            clocks.barrier(-0.1)
+
+
+class TestReporting:
+    def test_elapsed_is_max(self, clocks):
+        clocks.charge(np.array([1.0, 4.0, 2.0, 3.0]))
+        assert clocks.elapsed == 4.0
+        assert clocks.mean_elapsed == pytest.approx(2.5)
+
+    def test_skew(self, clocks):
+        clocks.charge(np.array([1.0, 4.0, 2.0, 3.0]))
+        assert clocks.skew() == pytest.approx(3.0)
+        clocks.barrier()
+        assert clocks.skew() == 0.0
+
+    def test_copy_is_independent(self, clocks):
+        clocks.charge(1.0)
+        clone = clocks.copy()
+        clone.charge(1.0)
+        assert clocks.elapsed == 1.0
+        assert clone.elapsed == 2.0
+
+    def test_fresh_clocks_zero(self, clocks):
+        assert clocks.elapsed == 0.0
+        assert clocks.skew() == 0.0
+
+    def test_node_map_layout(self, clocks):
+        assert list(clocks.node_of) == [0, 0, 1, 1]

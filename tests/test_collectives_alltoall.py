@@ -1,0 +1,122 @@
+"""Tests for SMatrix/PMatrix machinery and communication schedules."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    charge_setup,
+    circular_schedule,
+    exchange_counts,
+    is_contention_free,
+    linear_schedule,
+    max_step_contention,
+    position_matrix,
+    send_matrix,
+)
+from repro.errors import CollectiveError
+from repro.runtime import PGASRuntime, PartitionedArray, hps_cluster, smp_node
+
+
+class TestSendMatrix:
+    def test_counts_pairs(self):
+        requesters = np.array([0, 0, 1, 2, 2, 2])
+        owners = np.array([1, 1, 0, 2, 0, 1])
+        smat = send_matrix(requesters, owners, 3)
+        assert smat[1, 0] == 2  # owner 1 sends two elements to requester 0
+        assert smat[0, 1] == 1
+        assert smat[2, 2] == 1
+        assert smat.sum() == 6
+
+    def test_empty(self):
+        smat = send_matrix(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 4)
+        assert smat.shape == (4, 4) and smat.sum() == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CollectiveError):
+            send_matrix(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64), 4)
+
+    def test_out_of_range_thread(self):
+        with pytest.raises(CollectiveError):
+            send_matrix(np.array([5]), np.array([0]), 4)
+
+    def test_row_sums_are_owner_loads(self):
+        rng = np.random.default_rng(0)
+        requesters = rng.integers(0, 4, 100)
+        owners = rng.integers(0, 4, 100)
+        smat = send_matrix(requesters, owners, 4)
+        assert np.array_equal(smat.sum(axis=1), np.bincount(owners, minlength=4))
+        assert np.array_equal(smat.sum(axis=0), np.bincount(requesters, minlength=4))
+
+
+class TestPositionMatrix:
+    def test_prefix_sums_down_columns(self):
+        smat = np.array([[1, 2], [3, 4]])
+        pmat = position_matrix(smat)
+        assert pmat.tolist() == [[0, 0], [1, 2]]
+
+    def test_positions_partition_receive_buffers(self):
+        rng = np.random.default_rng(1)
+        smat = rng.integers(0, 5, (6, 6))
+        pmat = position_matrix(smat)
+        # Last deposit end equals the column total for every requester.
+        ends = pmat[-1, :] + smat[-1, :]
+        assert np.array_equal(ends, smat.sum(axis=0))
+
+
+class TestChargeSetup:
+    def test_charges_setup_category_and_barrier(self):
+        rt = PGASRuntime(hps_cluster(4, 2))
+        charge_setup(rt)
+        assert rt.trace.category_seconds["Setup"] > 0
+        assert rt.counters.barriers == 1
+
+    def test_single_node_setup_cheap(self):
+        rt_cluster = PGASRuntime(hps_cluster(8, 1))
+        rt_smp = PGASRuntime(smp_node(8))
+        charge_setup(rt_cluster)
+        charge_setup(rt_smp)
+        assert (
+            rt_smp.trace.category_seconds["Setup"]
+            < rt_cluster.trace.category_seconds["Setup"]
+        )
+
+    def test_exchange_counts_returns_consistent_matrices(self):
+        machine = hps_cluster(2, 2)
+        rt = PGASRuntime(machine)
+        arr = rt.shared_array(np.arange(100, dtype=np.int64))
+        idx = PartitionedArray.even(
+            np.random.default_rng(2).integers(0, 100, 400), machine.total_threads
+        )
+        smat, pmat = exchange_counts(rt, idx, arr.owner_thread(idx.data))
+        assert smat.sum() == 400
+        assert np.array_equal(position_matrix(smat), pmat)
+
+
+class TestSchedules:
+    def test_linear_is_incast(self):
+        order = linear_schedule(8)
+        assert max_step_contention(order) == 8
+        assert not is_contention_free(order)
+
+    def test_circular_is_contention_free(self):
+        for s in (1, 2, 5, 16):
+            assert is_contention_free(circular_schedule(s))
+
+    def test_circular_starts_with_self(self):
+        order = circular_schedule(4)
+        assert np.array_equal(order[:, 0], np.arange(4))
+
+    def test_circular_covers_all_peers(self):
+        order = circular_schedule(6)
+        for i in range(6):
+            assert sorted(order[i]) == list(range(6))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(CollectiveError):
+            linear_schedule(0)
+        with pytest.raises(CollectiveError):
+            circular_schedule(-1)
+
+    def test_contention_requires_square(self):
+        with pytest.raises(CollectiveError):
+            max_step_contention(np.zeros((2, 3), dtype=np.int64))

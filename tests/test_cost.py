@@ -1,0 +1,222 @@
+"""Tests for the cost model (repro.runtime.cost)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CostModel, hps_cluster, sequential_machine, smp_node
+from repro.runtime.cost import ELEM_BYTES
+
+
+@pytest.fixture
+def cm():
+    return CostModel(hps_cluster(4, 4))
+
+
+@pytest.fixture
+def cm_smp():
+    return CostModel(smp_node(16))
+
+
+class TestRemoteMessages:
+    def test_single_message_includes_latency(self, cm):
+        t = float(cm.remote_message_time(0))
+        assert t >= cm.machine.network.latency * cm.machine.per_call_scale
+
+    def test_bandwidth_term_scales_linearly(self, cm):
+        small = float(cm.remote_message_time(1_000))
+        big = float(cm.remote_message_time(1_000_000))
+        assert big - small == pytest.approx(999_000 / cm.machine.network.bandwidth)
+
+    def test_rdma_skips_overhead(self, cm):
+        assert float(cm.remote_message_time(100, rdma=True)) < float(
+            cm.remote_message_time(100, rdma=False)
+        )
+
+    def test_vectorized_over_threads(self, cm):
+        out = cm.remote_message_time(np.array([0.0, 1e6, 2e6]))
+        assert out.shape == (3,)
+        assert out[2] > out[1] > out[0]
+
+
+class TestFineGrained:
+    def test_fine_access_much_slower_than_memory(self, cm):
+        remote = float(cm.fine_grained_remote_time(1))
+        local = cm.machine.memory.latency
+        assert remote / local > 20  # the Section III regime
+
+    def test_blocking_plus_occupancy_is_total(self, cm):
+        n = np.array([10.0, 100.0])
+        total = cm.fine_grained_remote_time(n)
+        parts = cm.fine_grained_blocking_time(n) + cm.fine_grained_occupancy_time(n)
+        assert np.allclose(total, parts)
+
+    def test_congestion_multiplies_fine_cost(self):
+        base = hps_cluster(4, 4)
+        calm = CostModel(base.with_(network=base.network.__class__(fine_congestion=1.0)))
+        busy = CostModel(base.with_(network=base.network.__class__(fine_congestion=3.0)))
+        assert float(busy.fine_grained_remote_time(100)) == pytest.approx(
+            3.0 * float(calm.fine_grained_remote_time(100))
+        )
+
+    def test_not_scaled_by_per_call_scale(self, cm):
+        scaled = CostModel(cm.machine.with_(per_call_scale=0.001))
+        assert float(scaled.fine_grained_remote_time(50)) == pytest.approx(
+            float(cm.fine_grained_remote_time(50))
+        )
+
+
+class TestBulkTransfer:
+    def test_coalescing_beats_fine_grained(self, cm):
+        k = 10_000
+        assert float(cm.bulk_transfer_time(k, 1)) < float(cm.fine_grained_remote_time(k))
+
+    def test_linear_order_penalty_on_bandwidth(self, cm):
+        lin = float(cm.bulk_transfer_time(100_000, 1, linear_order=True))
+        circ = float(cm.bulk_transfer_time(100_000, 1, linear_order=False))
+        assert lin > circ
+        # penalty applies to the bandwidth term only
+        factor = cm.machine.network.linear_order_factor
+        bw = 100_000 * ELEM_BYTES / cm.machine.network.bandwidth
+        assert lin - circ == pytest.approx((factor - 1) * bw)
+
+    def test_message_count_term(self, cm):
+        one = float(cm.bulk_transfer_time(1000, 1))
+        many = float(cm.bulk_transfer_time(1000, 100))
+        assert many > one
+
+
+class TestCongestion:
+    def test_no_congestion_below_threshold(self, cm):
+        thr = cm.machine.network.incast_threshold
+        assert cm.congestion_factor(thr) == 1.0
+        assert cm.congestion_factor(2) == 1.0
+
+    def test_collapse_beyond_threshold(self, cm):
+        thr = cm.machine.network.incast_threshold
+        assert cm.congestion_factor(2 * thr) > 100  # the paper's AlltoAll failure
+
+    def test_monotone(self, cm):
+        thr = cm.machine.network.incast_threshold
+        values = [cm.congestion_factor(s) for s in (thr, thr + 16, thr + 64, 2 * thr)]
+        assert values == sorted(values)
+
+
+class TestAlltoallSetup:
+    def test_single_node_pays_memory_prices(self):
+        cm = CostModel(smp_node(16))
+        # No network peers: cost bounded by tens of memory latencies.
+        assert cm.alltoall_setup_time() < 100 * cm.machine.memory.latency * 16
+
+    def test_grows_with_remote_peers(self):
+        a = CostModel(hps_cluster(2, 4)).alltoall_setup_time()
+        b = CostModel(hps_cluster(8, 4)).alltoall_setup_time()
+        assert b > a
+
+    def test_congestion_applies_past_threshold(self):
+        calm = CostModel(hps_cluster(16, 8)).alltoall_setup_time()  # s=128
+        congested = CostModel(hps_cluster(16, 16)).alltoall_setup_time()  # s=256
+        assert congested > 50 * calm
+
+
+class TestMemoryModel:
+    def test_seq_access_streams(self, cm):
+        t1 = float(cm.seq_access_time(1000))
+        t2 = float(cm.seq_access_time(2000))
+        assert t2 > t1
+        assert t2 - t1 == pytest.approx(1000 * ELEM_BYTES / cm.machine.memory.bandwidth)
+
+    def test_miss_rate_bounds(self, cm):
+        assert 0.02 <= float(cm.miss_rate(1.0)) <= 1.0
+        assert float(cm.miss_rate(1e12)) > 0.99
+        assert float(cm.miss_rate(1.0)) == pytest.approx(0.02)
+
+    def test_miss_rate_monotone_in_working_set(self, cm):
+        ws = np.array([1e3, 1e5, 1e7, 1e9])
+        rates = cm.miss_rate(ws)
+        assert np.all(np.diff(rates) >= 0)
+
+    def test_random_access_cheaper_when_cached(self, cm):
+        big = float(cm.random_access_time(1000, 1e9))
+        small = float(cm.random_access_time(1000, 100.0))
+        assert small < big
+
+    def test_distinct_working_set_caps_and_divides(self, cm):
+        line = cm.machine.cache.line_bytes
+        assert float(cm.distinct_working_set(10, 1e9)) == pytest.approx(10 * line)
+        assert float(cm.distinct_working_set(10**9, 1e6)) == pytest.approx(1e6)
+        assert float(cm.distinct_working_set(10**9, 1e6, divisor=4)) == pytest.approx(2.5e5)
+        assert float(cm.distinct_working_set(0, 1e6)) == pytest.approx(line)
+
+    def test_gather_time_duplicates_are_cheap(self, cm):
+        # 100k requests for 10 distinct elements ~ bandwidth only.
+        dup = float(cm.gather_time(1e5, 10, cm.distinct_working_set(10, 1e9)))
+        uniq = float(cm.gather_time(1e5, 1e5, cm.distinct_working_set(1e5, 1e9)))
+        assert dup < uniq / 5
+
+    def test_grouped_permute_cheaper_than_random(self, cm):
+        k = 100_000
+        grouped = float(cm.grouped_permute_time(k))
+        rand = float(cm.random_access_time(k, k * ELEM_BYTES))
+        assert grouped < rand
+
+    def test_virtual_scan_zero_at_tprime_one(self, cm):
+        assert float(cm.virtual_scan_time(1000, 1)) == 0.0
+
+    def test_virtual_scan_linear_in_tprime(self, cm):
+        t4 = float(cm.virtual_scan_time(1000, 4))
+        t8 = float(cm.virtual_scan_time(1000, 8))
+        assert t8 == pytest.approx(2 * t4)
+
+
+class TestSortModels:
+    def test_count_sort_linear(self, cm):
+        t1 = float(cm.count_sort_time(10_000, 16))
+        t2 = float(cm.count_sort_time(20_000, 16))
+        assert t2 < 2.5 * t1
+
+    def test_quicksort_much_slower_at_paper_sizes(self, cm_smp):
+        # The paper: "quick sort ... more than 50 times slower than count
+        # sort on the same data" — our model lands the same order.
+        q = float(cm_smp.comparison_sort_time(2_500_000))
+        c = float(cm_smp.count_sort_time(2_500_000, 16))
+        assert q / c > 10
+
+    def test_quicksort_nlogn(self, cm):
+        small = float(cm.comparison_sort_time(1000))
+        big = float(cm.comparison_sort_time(100_000))
+        assert big > 100 * small  # superlinear
+
+
+class TestLocks:
+    def test_lock_init_linear(self, cm):
+        assert float(cm.lock_init_time(2_000_000)) == pytest.approx(
+            2 * float(cm.lock_init_time(1_000_000))
+        )
+
+    def test_contention_surcharge(self, cm):
+        calm = float(cm.lock_op_time(1000, 0.0))
+        hot = float(cm.lock_op_time(1000, 1.0))
+        assert hot > calm
+
+
+class TestCollectiveSupport:
+    def test_allreduce_scales_with_log_threads(self):
+        small = CostModel(hps_cluster(2, 1)).allreduce_time()
+        big = CostModel(hps_cluster(16, 16)).allreduce_time()
+        assert big > small
+
+    def test_allreduce_free_on_one_thread(self):
+        assert CostModel(sequential_machine()).allreduce_time() == 0.0
+
+    def test_allreduce_memory_priced_on_one_node(self):
+        one_node = CostModel(smp_node(16)).allreduce_time()
+        cluster = CostModel(hps_cluster(16, 1)).allreduce_time()
+        assert one_node < cluster
+
+    def test_barrier_passthrough(self, cm):
+        assert cm.barrier_time() == cm.machine.barrier_time()
+
+    def test_upc_deref_overhead_positive(self, cm):
+        deref = float(cm.upc_local_deref_time(1000, 1e6))
+        plain = float(cm.random_access_time(1000, 1e6))
+        assert deref > plain

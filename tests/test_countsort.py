@@ -1,0 +1,99 @@
+"""Tests for counting sort / grouping (repro.scheduling.countsort)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.scheduling import bucket_offsets, counting_sort_permutation, group_by_key
+
+
+class TestBucketOffsets:
+    def test_prefix_sums(self):
+        assert bucket_offsets(np.array([2, 0, 3])).tolist() == [0, 2, 2, 5]
+
+    def test_empty(self):
+        assert bucket_offsets(np.array([], dtype=np.int64)).tolist() == [0]
+
+
+class TestCountingSortPermutation:
+    def test_sorts(self):
+        keys = np.array([3, 1, 3, 0, 1, 1])
+        perm = counting_sort_permutation(keys, 4)
+        assert keys[perm].tolist() == [0, 1, 1, 1, 3, 3]
+
+    def test_stability(self):
+        keys = np.array([1, 0, 1, 0])
+        perm = counting_sort_permutation(keys, 2)
+        assert perm.tolist() == [1, 3, 0, 2]
+
+    def test_single_bucket(self):
+        keys = np.zeros(5, dtype=np.int64)
+        perm = counting_sort_permutation(keys, 1)
+        assert perm.tolist() == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        perm = counting_sort_permutation(np.array([], dtype=np.int64), 3)
+        assert perm.size == 0
+
+    def test_key_out_of_range(self):
+        with pytest.raises(DistributionError):
+            counting_sort_permutation(np.array([4]), 4)
+        with pytest.raises(DistributionError):
+            counting_sort_permutation(np.array([-1]), 4)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(DistributionError):
+            counting_sort_permutation(np.array([0]), 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DistributionError):
+            counting_sort_permutation(np.zeros((2, 2), dtype=np.int64), 2)
+
+    @given(
+        keys=st.lists(st.integers(0, 15), min_size=0, max_size=100),
+    )
+    def test_property_matches_stable_argsort(self, keys):
+        arr = np.asarray(keys, dtype=np.int64)
+        perm = counting_sort_permutation(arr, 16)
+        expected = np.argsort(arr, kind="stable")
+        assert np.array_equal(perm, expected)
+
+
+class TestGroupByKey:
+    def test_returns_consistent_triple(self):
+        keys = np.array([2, 0, 2, 1, 0])
+        perm, counts, offsets = group_by_key(keys, 3)
+        assert counts.tolist() == [2, 1, 2]
+        assert offsets.tolist() == [0, 2, 3, 5]
+        assert keys[perm].tolist() == [0, 0, 1, 2, 2]
+
+    def test_bucket_selection(self):
+        keys = np.array([2, 0, 2, 1, 0])
+        perm, counts, offsets = group_by_key(keys, 3)
+        bucket2 = perm[offsets[2] : offsets[3]]
+        assert bucket2.tolist() == [0, 2]  # original order preserved
+
+    def test_empty_buckets_allowed(self):
+        perm, counts, offsets = group_by_key(np.array([5, 5]), 8)
+        assert counts.tolist() == [0, 0, 0, 0, 0, 2, 0, 0]
+
+    def test_errors(self):
+        with pytest.raises(DistributionError):
+            group_by_key(np.array([3]), 3)
+        with pytest.raises(DistributionError):
+            group_by_key(np.array([0]), 0)
+
+    @given(
+        keys=st.lists(st.integers(0, 9), min_size=0, max_size=80),
+        nbuckets=st.integers(10, 12),
+    )
+    def test_property_group_recovers_all_elements(self, keys, nbuckets):
+        arr = np.asarray(keys, dtype=np.int64)
+        perm, counts, offsets = group_by_key(arr, nbuckets)
+        assert counts.sum() == arr.size
+        assert sorted(perm.tolist()) == list(range(arr.size))
+        for bucket in range(nbuckets):
+            sel = perm[offsets[bucket] : offsets[bucket + 1]]
+            assert np.all(arr[sel] == bucket)

@@ -1,0 +1,100 @@
+"""Tests for the grid generator and the tprime='auto' feature."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bfs import solve_bfs_collective
+from repro.core.pipeline import resolve_tprime
+from repro.errors import ConfigError, GraphError
+from repro.graph import grid_graph, is_simple
+from repro.runtime import hps_cluster, smp_node
+
+
+class TestGridGraph:
+    def test_dimensions(self):
+        g = grid_graph(3, 5)
+        assert g.n == 15
+        assert g.m == 3 * 4 + 2 * 5
+
+    def test_simple(self):
+        assert is_simple(grid_graph(6, 7))
+
+    def test_corner_degree(self):
+        g = grid_graph(4, 4)
+        deg = g.degrees()
+        assert deg[0] == 2  # corner
+        assert deg[5] == 4  # interior
+
+    def test_torus_regular(self):
+        g = grid_graph(5, 5, periodic=True)
+        assert np.all(g.degrees() == 4)
+
+    def test_single_row(self):
+        g = grid_graph(1, 6)
+        assert g.m == 5  # a path
+
+    def test_single_cell(self):
+        g = grid_graph(1, 1)
+        assert g.n == 1 and g.m == 0
+
+    def test_connected(self):
+        cc = repro.connected_components(grid_graph(8, 8), hps_cluster(2, 2))
+        assert cc.num_components == 1
+
+    def test_bfs_distance_is_manhattan(self):
+        rows, cols = 6, 9
+        g = grid_graph(rows, cols)
+        dist, _ = solve_bfs_collective(g, 0, hps_cluster(2, 2))
+        for r in range(rows):
+            for c in range(cols):
+                assert dist[r * cols + c] == r + c
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_torus_needs_size_three(self):
+        # 2-wide periodic wrap would duplicate edges; generator omits it.
+        g = grid_graph(2, 2, periodic=True)
+        assert is_simple(g)
+
+
+class TestAutoTprime:
+    def test_passthrough_int(self):
+        assert resolve_tprime(7, smp_node(4), 1000) == 7
+
+    def test_auto_is_positive(self):
+        tp = resolve_tprime("auto", repro.smp_for_input(100_000, 16), 100_000)
+        assert tp >= 1
+
+    def test_auto_targets_cache_fit(self):
+        machine = repro.smp_for_input(100_000, 16)
+        tp = resolve_tprime("auto", machine, 100_000)
+        block_bytes = 100_000 / 16 * 8
+        assert block_bytes / tp <= machine.cache.size_bytes
+
+    def test_auto_is_one_when_block_fits(self):
+        assert resolve_tprime("auto", smp_node(16), 1000) == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            resolve_tprime(0, smp_node(4), 100)
+        with pytest.raises(ConfigError):
+            resolve_tprime("fast", smp_node(4), 100)
+
+    def test_solvers_accept_auto(self):
+        g = repro.random_graph(2_000, 6_000, 1)
+        machine = repro.cluster_for_input(2_000, 4, 2)
+        repro.connected_components(g, machine, tprime="auto", validate=True)
+        gw = repro.with_random_weights(g, 2)
+        repro.minimum_spanning_forest(gw, machine, tprime="auto", validate=True)
+        repro.spanning_forest(g, machine, tprime="auto", validate=True)
+
+    def test_auto_no_worse_than_one_on_big_smp(self):
+        n = 50_000
+        g = repro.random_graph(n, 4 * n, seed=2)
+        machine = repro.smp_for_input(n, 16)
+        base = repro.connected_components(g, machine, tprime=1)
+        auto = repro.connected_components(g, machine, tprime="auto")
+        assert auto.info.sim_time <= base.info.sim_time * 1.02

@@ -1,0 +1,88 @@
+"""Tests for the hierarchical-collectives future-work feature."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import getd, setdmin
+from repro.core import OptimizationFlags, cluster_for_input, connected_components
+from repro.graph import random_graph
+from repro.runtime import CostModel, PGASRuntime, PartitionedArray, hps_cluster
+
+
+FLAT = OptimizationFlags.all()
+HIER = FLAT.with_(hierarchical=True)
+
+
+class TestSemantics:
+    def test_getd_unchanged(self):
+        machine = hps_cluster(4, 4)
+        rt = PGASRuntime(machine)
+        arr = rt.shared_array(np.arange(1000, dtype=np.int64) * 3)
+        idx = PartitionedArray.even(
+            np.random.default_rng(0).integers(0, 1000, 8000), machine.total_threads
+        )
+        out = getd(rt, arr, idx, HIER)
+        assert np.array_equal(out, arr.data[idx.data])
+
+    def test_setdmin_unchanged(self):
+        machine = hps_cluster(4, 4)
+        rt = PGASRuntime(machine)
+        arr = rt.shared_array(np.arange(1000, dtype=np.int64) * 3)
+        rng = np.random.default_rng(1)
+        idx = PartitionedArray.even(rng.integers(0, 1000, 4000), machine.total_threads)
+        vals = rng.integers(0, 3000, 4000)
+        expected = arr.data.copy()
+        np.minimum.at(expected, idx.data, vals)
+        setdmin(rt, arr, idx, vals, HIER)
+        assert np.array_equal(arr.data, expected)
+
+    def test_cc_labels_identical(self):
+        g = random_graph(500, 1500, 3)
+        a = connected_components(g, hps_cluster(4, 4), opts=FLAT).labels
+        b = connected_components(g, hps_cluster(4, 4), opts=HIER).labels
+        assert np.array_equal(a, b)
+
+    def test_not_in_all(self):
+        # Faithfulness: the paper's "Optimized" configuration is flat.
+        assert not OptimizationFlags.all().hierarchical
+
+
+class TestCostShape:
+    def test_setup_immune_to_thread_collapse(self):
+        flat_cost = CostModel(hps_cluster(16, 16)).alltoall_setup_time()
+        hier_cost = CostModel(hps_cluster(16, 16)).alltoall_setup_time(hierarchical=True)
+        assert hier_cost < flat_cost / 50
+
+    def test_congestion_evaluated_at_node_count(self):
+        # 16 nodes is far below the 128-thread incast threshold.
+        cm = CostModel(hps_cluster(16, 16))
+        assert cm.congestion_factor(16) == 1.0
+        assert cm.congestion_factor(256) > 100
+
+    def test_fewer_messages(self):
+        g = random_graph(2000, 8000, 4)
+        machine = hps_cluster(4, 4)
+        a = connected_components(g, machine, opts=FLAT)
+        b = connected_components(g, machine, opts=HIER)
+        assert (
+            b.info.trace.counters.remote_messages
+            < a.info.trace.counters.remote_messages
+        )
+
+    def test_removes_the_16_thread_collapse(self):
+        n = 20_000
+        g = random_graph(n, 4 * n, seed=5)
+        machine = cluster_for_input(n, 16, 16)
+        flat = connected_components(g, machine, opts=FLAT)
+        hier = connected_components(g, machine, opts=HIER)
+        assert hier.info.sim_time < flat.info.sim_time / 3
+        flat8 = connected_components(g, cluster_for_input(n, 16, 8), opts=FLAT, tprime=2)
+        assert hier.info.sim_time < 2 * flat8.info.sim_time
+
+    def test_single_node_unaffected(self):
+        from repro.runtime import smp_node
+
+        g = random_graph(1000, 3000, 6)
+        a = connected_components(g, smp_node(8), opts=FLAT)
+        b = connected_components(g, smp_node(8), opts=HIER)
+        assert a.info.sim_time == pytest.approx(b.info.sim_time, rel=0.05)

@@ -1,0 +1,141 @@
+"""Tests for the list-ranking package (repro.listrank)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.listrank import (
+    LinkedList,
+    random_list,
+    ranks_by_walk,
+    sequential_list,
+    solve_ranks_cgm,
+    solve_ranks_sequential,
+    solve_ranks_wyllie,
+)
+from repro.runtime import hps_cluster, smp_node
+
+
+def oracle_ranks(lst: LinkedList) -> np.ndarray:
+    ranks = np.zeros(lst.n, dtype=np.int64)
+    order = []
+    node = lst.head
+    while True:
+        order.append(node)
+        if node == lst.tail:
+            break
+        node = int(lst.succ[node])
+    for pos, node in enumerate(order):
+        ranks[node] = lst.n - 1 - pos
+    return ranks
+
+
+class TestLinkedList:
+    def test_random_list_is_valid(self):
+        lst = random_list(100, seed=1)
+        lst.validate()
+
+    def test_head_and_tail(self):
+        lst = sequential_list(5)
+        assert lst.head == 0 and lst.tail == 4
+
+    def test_single_node(self):
+        lst = sequential_list(1)
+        assert lst.head == lst.tail == 0
+
+    def test_deterministic(self):
+        a, b = random_list(50, 2), random_list(50, 2)
+        assert np.array_equal(a.succ, b.succ)
+
+    def test_rejects_two_tails(self):
+        with pytest.raises(GraphError):
+            LinkedList(np.array([0, 1]))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(GraphError):
+            LinkedList(np.array([1, 0]))
+
+    def test_rejects_two_predecessors(self):
+        with pytest.raises(GraphError):
+            LinkedList(np.array([2, 2, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            random_list(0)
+
+
+class TestRanking:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 200])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_all_solvers_agree_with_oracle(self, n, seed):
+        lst = random_list(n, seed)
+        expected = oracle_ranks(lst)
+        assert np.array_equal(ranks_by_walk(lst), expected)
+        seq, _ = solve_ranks_sequential(lst)
+        assert np.array_equal(seq, expected)
+        wy, _ = solve_ranks_wyllie(lst, hps_cluster(2, 2))
+        assert np.array_equal(wy, expected)
+        cg, _ = solve_ranks_cgm(lst, hps_cluster(2, 2))
+        assert np.array_equal(cg, expected)
+
+    def test_sequential_order_list(self):
+        lst = sequential_list(64)
+        ranks, _ = solve_ranks_wyllie(lst, hps_cluster(2, 2))
+        assert np.array_equal(ranks, np.arange(63, -1, -1))
+
+    def test_wyllie_rounds_logarithmic(self):
+        lst = random_list(1024, 5)
+        _, info = solve_ranks_wyllie(lst, hps_cluster(2, 2))
+        assert info.iterations <= 14  # ~log2(1024) + slack
+
+    def test_cgm_fewer_rounds_than_wyllie(self):
+        lst = random_list(20_000, 6)
+        machine = hps_cluster(16, 1)
+        _, wy = solve_ranks_wyllie(lst, machine)
+        _, cg = solve_ranks_cgm(lst, machine)
+        assert cg.iterations < wy.iterations
+
+    def test_results_machine_invariant(self):
+        lst = random_list(500, 7)
+        a, _ = solve_ranks_wyllie(lst, hps_cluster(2, 4))
+        b, _ = solve_ranks_wyllie(lst, hps_cluster(8, 1))
+        c, _ = solve_ranks_cgm(lst, hps_cluster(2, 4))
+        d, _ = solve_ranks_cgm(lst, hps_cluster(8, 1))
+        assert np.array_equal(a, b)
+        assert np.array_equal(c, d)
+        assert np.array_equal(a, c)
+
+    def test_single_node_machine(self):
+        lst = random_list(100, 8)
+        ranks, _ = solve_ranks_wyllie(lst, smp_node(4))
+        assert np.array_equal(ranks, oracle_ranks(lst))
+
+    @given(n=st.integers(1, 150), seed=st.integers(0, 10))
+    def test_property_wyllie_matches_walk(self, n, seed):
+        lst = random_list(n, seed)
+        ranks, _ = solve_ranks_wyllie(lst, hps_cluster(2, 2))
+        assert np.array_equal(ranks, ranks_by_walk(lst))
+
+    @given(n=st.integers(1, 150), seed=st.integers(0, 10))
+    def test_property_cgm_matches_walk(self, n, seed):
+        lst = random_list(n, seed)
+        ranks, _ = solve_ranks_cgm(lst, hps_cluster(2, 2))
+        assert np.array_equal(ranks, ranks_by_walk(lst))
+
+
+class TestCostShape:
+    def test_cgm_has_idle_skew_before_barrier(self):
+        # The sequential contracted-rank step runs on thread 0 while the
+        # rest idle; total time includes that serial chunk.
+        lst = random_list(50_000, 9)
+        machine = hps_cluster(16, 1)
+        _, cg = solve_ranks_cgm(lst, machine)
+        _, wy = solve_ranks_wyllie(lst, machine)
+        assert cg.sim_time > 0 and wy.sim_time > 0
+
+    def test_sequential_linear_in_n(self):
+        _, a = solve_ranks_sequential(random_list(10_000, 1))
+        _, b = solve_ranks_sequential(random_list(20_000, 1))
+        assert b.sim_time == pytest.approx(2 * a.sim_time, rel=0.2)

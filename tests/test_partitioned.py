@@ -1,0 +1,213 @@
+"""Tests for PartitionedArray (repro.runtime.partitioned)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.runtime import PartitionedArray, even_offsets
+
+
+class TestEvenOffsets:
+    def test_exact_division(self):
+        assert list(even_offsets(12, 4)) == [0, 3, 6, 9, 12]
+
+    def test_remainder_goes_to_front(self):
+        assert list(even_offsets(10, 4)) == [0, 3, 6, 8, 10]
+
+    def test_more_parts_than_items(self):
+        offs = even_offsets(2, 5)
+        assert offs[-1] == 2
+        assert len(offs) == 6
+
+    def test_zero_items(self):
+        assert list(even_offsets(0, 3)) == [0, 0, 0, 0]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(DistributionError):
+            even_offsets(10, 0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(DistributionError):
+            even_offsets(-1, 2)
+
+    @given(total=st.integers(0, 1000), parts=st.integers(1, 64))
+    def test_property_sizes_balanced(self, total, parts):
+        offs = even_offsets(total, parts)
+        sizes = np.diff(offs)
+        assert sizes.sum() == total
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestConstruction:
+    def test_even(self):
+        pa = PartitionedArray.even(np.arange(10), 3)
+        assert pa.parts == 3
+        assert pa.total == 10
+        assert list(pa.segment(0)) == [0, 1, 2, 3]
+
+    def test_from_segments(self):
+        pa = PartitionedArray.from_segments([np.array([1, 2]), np.array([3])])
+        assert pa.parts == 2
+        assert list(pa.data) == [1, 2, 3]
+
+    def test_from_segments_empty_segments(self):
+        pa = PartitionedArray.from_segments([np.array([], dtype=np.int64), np.array([5])])
+        assert pa.sizes().tolist() == [0, 1]
+
+    def test_from_segments_rejects_empty_list(self):
+        with pytest.raises(DistributionError):
+            PartitionedArray.from_segments([])
+
+    def test_empty_like(self):
+        pa = PartitionedArray.empty_like(4)
+        assert pa.parts == 4 and pa.total == 0
+
+    def test_offsets_must_cover_data(self):
+        with pytest.raises(DistributionError):
+            PartitionedArray(np.arange(5), np.array([0, 2, 4]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(DistributionError):
+            PartitionedArray(np.arange(4), np.array([0, 3, 2, 4]))
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(DistributionError):
+            PartitionedArray(np.arange(4), np.array([1, 2, 4]))
+
+
+class TestAccessors:
+    @pytest.fixture
+    def pa(self):
+        return PartitionedArray(np.array([5, 6, 7, 8, 9]), np.array([0, 2, 2, 5]))
+
+    def test_sizes(self, pa):
+        assert pa.sizes().tolist() == [2, 0, 3]
+
+    def test_segment_view(self, pa):
+        assert pa.segment(2).tolist() == [7, 8, 9]
+        assert pa.segment(1).size == 0
+
+    def test_segment_bounds(self, pa):
+        with pytest.raises(DistributionError):
+            pa.segment(3)
+
+    def test_thread_ids(self, pa):
+        assert pa.thread_ids().tolist() == [0, 0, 2, 2, 2]
+
+    def test_len(self, pa):
+        assert len(pa) == 5
+
+    def test_segments_iterator(self, pa):
+        segs = list(pa.segments())
+        assert [s.tolist() for s in segs] == [[5, 6], [], [7, 8, 9]]
+
+
+class TestTransforms:
+    def test_with_data(self):
+        pa = PartitionedArray.even(np.arange(6), 2)
+        pb = pa.with_data(np.arange(6) * 10)
+        assert np.array_equal(pb.offsets, pa.offsets)
+        assert pb.data[3] == 30
+
+    def test_with_data_length_mismatch(self):
+        pa = PartitionedArray.even(np.arange(6), 2)
+        with pytest.raises(DistributionError):
+            pa.with_data(np.arange(5))
+
+    def test_filter_compacts_per_thread(self):
+        pa = PartitionedArray(np.arange(8), np.array([0, 4, 8]))
+        mask = np.array([True, False, True, False, False, True, True, False])
+        out = pa.filter(mask)
+        assert out.sizes().tolist() == [2, 2]
+        assert out.segment(0).tolist() == [0, 2]
+        assert out.segment(1).tolist() == [5, 6]
+
+    def test_filter_all_false(self):
+        pa = PartitionedArray.even(np.arange(4), 2)
+        out = pa.filter(np.zeros(4, dtype=bool))
+        assert out.total == 0 and out.parts == 2
+
+    def test_filter_mask_length(self):
+        pa = PartitionedArray.even(np.arange(4), 2)
+        with pytest.raises(DistributionError):
+            pa.filter(np.ones(3, dtype=bool))
+
+    def test_segment_sums(self):
+        pa = PartitionedArray(np.array([1.0, 2.0, 3.0, 4.0]), np.array([0, 2, 4]))
+        assert pa.segment_sums().tolist() == [3.0, 7.0]
+
+    def test_segment_sums_with_values(self):
+        pa = PartitionedArray.even(np.arange(4), 2)
+        out = pa.segment_sums(np.array([1, 1, 2, 2]))
+        assert out.tolist() == [2.0, 4.0]
+
+    def test_segment_counts_where(self):
+        pa = PartitionedArray.even(np.arange(6), 3)
+        mask = np.array([True, True, False, False, False, True])
+        assert pa.segment_counts_where(mask).tolist() == [2, 0, 1]
+
+    def test_concat_pairwise(self):
+        a = PartitionedArray(np.array([1, 2, 3]), np.array([0, 2, 3]))
+        b = PartitionedArray(np.array([9, 8]), np.array([0, 1, 2]))
+        out = PartitionedArray.concat_pairwise(a, b)
+        assert out.segment(0).tolist() == [1, 2, 9]
+        assert out.segment(1).tolist() == [3, 8]
+
+    def test_concat_pairwise_part_mismatch(self):
+        a = PartitionedArray.even(np.arange(4), 2)
+        b = PartitionedArray.even(np.arange(4), 4)
+        with pytest.raises(DistributionError):
+            PartitionedArray.concat_pairwise(a, b)
+
+
+class TestSegmentDistinct:
+    def test_basic(self):
+        pa = PartitionedArray(np.array([1, 1, 2, 5, 5, 5]), np.array([0, 3, 6]))
+        assert pa.segment_distinct().tolist() == [2, 1]
+
+    def test_empty(self):
+        pa = PartitionedArray.empty_like(3)
+        assert pa.segment_distinct().tolist() == [0, 0, 0]
+
+    def test_same_value_across_segments_counted_per_segment(self):
+        pa = PartitionedArray(np.array([7, 7, 7, 7]), np.array([0, 2, 4]))
+        assert pa.segment_distinct().tolist() == [1, 1]
+
+    @given(
+        values=st.lists(st.integers(0, 50), min_size=1, max_size=60),
+        parts=st.integers(1, 8),
+    )
+    def test_property_matches_per_segment_unique(self, values, parts):
+        data = np.asarray(values, dtype=np.int64)
+        pa = PartitionedArray.even(data, parts)
+        expected = [np.unique(seg).size for seg in pa.segments()]
+        assert pa.segment_distinct().tolist() == expected
+
+
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=0, max_size=80),
+    parts=st.integers(1, 10),
+)
+def test_property_even_partition_roundtrip(values, parts):
+    data = np.asarray(values, dtype=np.int64)
+    pa = PartitionedArray.even(data, parts)
+    rebuilt = np.concatenate([pa.segment(i) for i in range(parts)]) if values else data
+    assert np.array_equal(rebuilt, data)
+
+
+@given(
+    values=st.lists(st.integers(0, 100), min_size=1, max_size=60),
+    parts=st.integers(1, 6),
+    seed=st.integers(0, 5),
+)
+def test_property_filter_preserves_order_within_segments(values, parts, seed):
+    data = np.asarray(values, dtype=np.int64)
+    pa = PartitionedArray.even(data, parts)
+    mask = np.random.default_rng(seed).random(len(values)) < 0.5
+    out = pa.filter(mask)
+    for i in range(parts):
+        lo, hi = pa.offsets[i], pa.offsets[i + 1]
+        expected = data[lo:hi][mask[lo:hi]]
+        assert np.array_equal(out.segment(i), expected)

@@ -1,0 +1,73 @@
+"""Tests for the scaling-study analytics (repro.core.scaling)."""
+
+import pytest
+
+import repro
+from repro.core import ScalingStudy, run_scaling_study
+from repro.core.scaling import ScalingPoint
+from repro.errors import ConfigError
+
+
+class TestScalingPoint:
+    def test_efficiency(self):
+        pt = ScalingPoint(threads=8, sim_time=1.0, speedup=4.0)
+        assert pt.efficiency == pytest.approx(0.5)
+
+    def test_karp_flatt_perfect_scaling(self):
+        pt = ScalingPoint(threads=8, sim_time=1.0, speedup=8.0)
+        assert pt.karp_flatt == pytest.approx(0.0)
+
+    def test_karp_flatt_half_efficiency(self):
+        pt = ScalingPoint(threads=2, sim_time=1.0, speedup=1.0)
+        assert pt.karp_flatt == pytest.approx(1.0)
+
+    def test_karp_flatt_single_thread(self):
+        assert ScalingPoint(threads=1, sim_time=1.0, speedup=1.0).karp_flatt == 0.0
+
+
+class TestScalingStudy:
+    def _study(self):
+        g = repro.random_graph(20_000, 80_000, seed=1)
+        machines = [repro.cluster_for_input(20_000, nodes, 8) for nodes in (2, 4, 8, 16)]
+        return run_scaling_study(
+            lambda m: repro.connected_components(g, m, tprime=2),
+            machines,
+            lambda: repro.connected_components(
+                g, repro.sequential_for_input(20_000), impl="sequential"
+            ),
+        )
+
+    def test_speedups_positive_and_ordered(self):
+        study = self._study()
+        assert all(pt.speedup > 0 for pt in study.points)
+        threads = [pt.threads for pt in study.points]
+        assert threads == sorted(threads)
+
+    def test_more_nodes_faster(self):
+        study = self._study()
+        assert study.points[-1].sim_time < study.points[0].sim_time
+
+    def test_best(self):
+        study = self._study()
+        best = study.best()
+        assert best.sim_time == min(pt.sim_time for pt in study.points)
+
+    def test_render(self):
+        out = self._study().render()
+        assert "Karp-Flatt" in out and "speedup" in out
+
+    def test_overhead_grows_is_boolean(self):
+        assert self._study().overhead_grows() in (True, False)
+
+    def test_rejects_bad_reference(self):
+        from repro.core.results import SolveInfo
+        from repro.runtime import Trace, sequential_machine
+
+        bad = SolveInfo(sequential_machine(), "x", 0.0, 0.0, 1, Trace())
+        with pytest.raises(ConfigError):
+            ScalingStudy.from_infos(bad, [])
+
+    def test_empty_best_rejected(self):
+        study = ScalingStudy(reference_time=1.0, points=[])
+        with pytest.raises(ConfigError):
+            study.best()

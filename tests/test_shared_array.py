@@ -1,0 +1,164 @@
+"""Tests for SharedArray (repro.runtime.shared_array)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.runtime import SharedArray, hps_cluster, sequential_machine
+
+
+@pytest.fixture
+def machine():
+    return hps_cluster(2, 2)  # s = 4
+
+
+@pytest.fixture
+def arr(machine):
+    return SharedArray(machine, np.arange(10, dtype=np.int64))
+
+
+class TestGeometry:
+    def test_default_block_is_ceil(self, arr):
+        assert arr.block == 3  # ceil(10/4)
+
+    def test_owner_thread_blocked_layout(self, arr):
+        owners = arr.owner_thread(np.arange(10))
+        assert owners.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_owner_clamped_to_last_thread(self, machine):
+        a = SharedArray(machine, np.arange(5), block=1)
+        assert a.owner_thread(np.array([4]))[0] == 3
+
+    def test_owner_node(self, arr):
+        nodes = arr.owner_node(np.array([0, 3, 6, 9]))
+        assert nodes.tolist() == [0, 0, 1, 1]
+
+    def test_local_range(self, arr):
+        assert arr.local_range(0) == (0, 3)
+        assert arr.local_range(3) == (9, 10)
+
+    def test_local_range_bounds(self, arr):
+        with pytest.raises(DistributionError):
+            arr.local_range(4)
+
+    def test_local_sizes_cover_array(self, arr):
+        sizes = arr.local_sizes()
+        assert sizes.sum() == arr.size
+        assert sizes.tolist() == [3, 3, 3, 1]
+
+    def test_local_view_is_writable_window(self, arr):
+        view = arr.local_view(1)
+        view[:] = -1
+        assert arr.data[3:6].tolist() == [-1, -1, -1]
+
+    def test_node_working_set(self, arr):
+        assert arr.node_working_set_bytes() == pytest.approx(10 / 2 * 8)
+
+    def test_rejects_empty(self, machine):
+        with pytest.raises(DistributionError):
+            SharedArray(machine, np.empty(0))
+
+    def test_rejects_2d(self, machine):
+        with pytest.raises(DistributionError):
+            SharedArray(machine, np.zeros((2, 2)))
+
+    def test_rejects_bad_block(self, machine):
+        with pytest.raises(DistributionError):
+            SharedArray(machine, np.arange(4), block=0)
+
+    def test_single_thread_owns_everything(self):
+        a = SharedArray(sequential_machine(), np.arange(7))
+        assert a.owner_thread(np.arange(7)).tolist() == [0] * 7
+
+
+class TestGatherScatter:
+    def test_gather(self, arr):
+        out = arr.gather(np.array([3, 0, 9]))
+        assert out.tolist() == [3, 0, 9]
+
+    def test_gather_bounds(self, arr):
+        with pytest.raises(DistributionError):
+            arr.gather(np.array([10]))
+        with pytest.raises(DistributionError):
+            arr.gather(np.array([-1]))
+
+    def test_scatter_min_keeps_minimum(self, arr):
+        changed = arr.scatter_min(np.array([5, 5, 5]), np.array([9, 2, 7]))
+        assert arr.data[5] == 2
+        assert changed == 1
+
+    def test_scatter_min_never_increases(self, arr):
+        arr.scatter_min(np.array([1]), np.array([100]))
+        assert arr.data[1] == 1
+
+    def test_scatter_min_counts_changes(self, arr):
+        changed = arr.scatter_min(np.array([8, 9]), np.array([0, 0]))
+        assert changed == 2
+
+    def test_scatter_min_empty(self, arr):
+        assert arr.scatter_min(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == 0
+
+    def test_scatter_min_shape_mismatch(self, arr):
+        with pytest.raises(DistributionError):
+            arr.scatter_min(np.array([1, 2]), np.array([1]))
+
+    def test_scatter_store_min_can_increase(self, arr):
+        changed = arr.scatter_store_min(np.array([0, 0]), np.array([7, 9]))
+        assert arr.data[0] == 7  # min of proposals, stored unconditionally
+        assert changed == 1
+
+    def test_scatter_store_min_untouched_elsewhere(self, arr):
+        before = arr.data.copy()
+        arr.scatter_store_min(np.array([4]), np.array([100]))
+        assert arr.data[4] == 100
+        mask = np.ones(10, dtype=bool)
+        mask[4] = False
+        assert np.array_equal(arr.data[mask], before[mask])
+
+    def test_scatter_alias_is_min(self, arr):
+        arr.scatter(np.array([6, 6]), np.array([2, 4]))
+        assert arr.data[6] == 2
+
+    def test_snapshot_is_copy(self, arr):
+        snap = arr.snapshot()
+        arr.data[0] = 99
+        assert snap[0] == 0
+
+
+@given(
+    n=st.integers(2, 64),
+    nodes=st.integers(1, 4),
+    threads=st.integers(1, 4),
+)
+def test_property_every_index_has_exactly_one_owner(n, nodes, threads):
+    machine = hps_cluster(nodes, threads)
+    arr = SharedArray(machine, np.zeros(n, dtype=np.int64))
+    owners = arr.owner_thread(np.arange(n))
+    sizes = arr.local_sizes()
+    assert sizes.sum() == n
+    counted = np.bincount(owners, minlength=machine.total_threads)
+    # local_sizes computes ranges; owner_thread must agree except for the
+    # clamped tail, which local_range assigns to the last thread.
+    for t in range(machine.total_threads):
+        lo, hi = arr.local_range(t)
+        span = np.arange(lo, hi)
+        if span.size:
+            assert np.all(owners[span] >= min(t, owners[span].min()))
+    assert counted.sum() == n
+
+
+@given(
+    idx=st.lists(st.integers(0, 19), min_size=1, max_size=30),
+    vals=st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+)
+def test_property_scatter_min_equals_numpy(idx, vals):
+    k = min(len(idx), len(vals))
+    idx_arr = np.asarray(idx[:k], dtype=np.int64)
+    val_arr = np.asarray(vals[:k], dtype=np.int64)
+    arr = SharedArray(hps_cluster(2, 2), np.arange(20, dtype=np.int64))
+    expected = np.arange(20, dtype=np.int64)
+    np.minimum.at(expected, idx_arr, val_arr)
+    arr.scatter_min(idx_arr, val_arr)
+    assert np.array_equal(arr.data, expected)

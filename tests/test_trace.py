@@ -1,0 +1,76 @@
+"""Tests for the execution trace (repro.runtime.trace)."""
+
+import pytest
+
+from repro.runtime import Category, Counters, Trace
+
+
+class TestCategory:
+    def test_the_six_fig5_categories(self):
+        assert Category.ALL == ("Comm", "Sort", "Copy", "Irregular", "Setup", "Work")
+
+
+class TestCounters:
+    def test_add(self):
+        c = Counters()
+        c.add(remote_messages=3, remote_bytes=24)
+        c.add(remote_messages=2)
+        assert c.remote_messages == 5
+        assert c.remote_bytes == 24
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(AttributeError):
+            Counters().add(bogus=1)
+
+    def test_as_dict(self):
+        c = Counters()
+        c.add(barriers=7)
+        assert c.as_dict()["barriers"] == 7
+        assert c.as_dict()["lock_ops"] == 0
+
+
+class TestTrace:
+    def test_charge_and_breakdown(self):
+        t = Trace()
+        t.charge_category(Category.COMM, 8.0)
+        t.charge_category(Category.SORT, 4.0)
+        bd = t.breakdown(4)
+        assert bd[Category.COMM] == pytest.approx(2.0)
+        assert bd[Category.SORT] == pytest.approx(1.0)
+        assert bd[Category.WORK] == 0.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            Trace().charge_category("Bogus", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().charge_category(Category.COMM, -1.0)
+
+    def test_breakdown_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            Trace().breakdown(0)
+
+    def test_total_thread_seconds(self):
+        t = Trace()
+        t.charge_category(Category.COMM, 1.0)
+        t.charge_category(Category.WORK, 2.0)
+        assert t.total_thread_seconds() == pytest.approx(3.0)
+
+    def test_merge_accumulates(self):
+        a, b = Trace(), Trace()
+        a.charge_category(Category.COMM, 1.0)
+        a.counters.add(barriers=1)
+        b.charge_category(Category.COMM, 2.0)
+        b.counters.add(barriers=3, remote_messages=5)
+        a.merge(b)
+        assert a.category_seconds[Category.COMM] == pytest.approx(3.0)
+        assert a.counters.barriers == 4
+        assert a.counters.remote_messages == 5
+
+    def test_summary_lines_render(self):
+        t = Trace()
+        t.charge_category(Category.COMM, 1.0)
+        lines = list(t.summary_lines(2))
+        assert any("Comm" in line for line in lines)
+        assert any("counters:" in line for line in lines)

@@ -1,0 +1,120 @@
+"""Tests for virtual-thread simulation (repro.scheduling.virtual_threads)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.runtime import CacheParams, PGASRuntime, hps_cluster
+from repro.scheduling import (
+    charge_local_serve,
+    simulate_set_associative,
+    sub_block_elems,
+    virtual_gather,
+)
+
+
+class TestVirtualGather:
+    def test_matches_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        d = rng.integers(0, 100, 1000)
+        r = rng.integers(0, 1000, 5000)
+        out, trace = virtual_gather(d, r, 8)
+        assert np.array_equal(out, d[r])
+
+    def test_tprime_one_is_identity_trace(self):
+        d = np.arange(10)
+        r = np.array([5, 2, 5])
+        out, trace = virtual_gather(d, r, 1)
+        assert np.array_equal(trace, r)
+        assert np.array_equal(out, d[r])
+
+    def test_trace_is_grouped_by_subblock(self):
+        d = np.arange(100)
+        r = np.array([90, 5, 95, 2])
+        _, trace = virtual_gather(d, r, 10)
+        # grouped: low block first, stable order inside
+        assert trace.tolist() == [5, 2, 90, 95]
+
+    def test_trace_reduces_real_misses(self):
+        cache = CacheParams(size_bytes=512, line_bytes=8, associativity=2)
+        rng = np.random.default_rng(1)
+        d = np.arange(4000)
+        r = rng.integers(0, 4000, 20_000)
+        _, t1 = virtual_gather(d, r, 1)
+        _, t16 = virtual_gather(d, r, 16)
+        m1 = simulate_set_associative(t1, cache).misses
+        m16 = simulate_set_associative(t16, cache).misses
+        assert m16 < m1
+
+    def test_invalid_tprime(self):
+        with pytest.raises(ConfigError):
+            virtual_gather(np.arange(10), np.array([0]), 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            virtual_gather(np.arange(10), np.array([10]), 2)
+
+    @given(
+        n=st.integers(1, 200),
+        k=st.integers(0, 300),
+        tprime=st.integers(1, 20),
+        seed=st.integers(0, 10),
+    )
+    def test_property_equivalence(self, n, k, tprime, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.integers(0, 1000, n)
+        r = rng.integers(0, n, k)
+        out, trace = virtual_gather(d, r, tprime)
+        assert np.array_equal(out, d[r])
+        assert np.array_equal(np.sort(trace), np.sort(r))
+
+
+class TestSubBlockElems:
+    def test_divides(self):
+        assert float(sub_block_elems(100, 4)) == 25.0
+
+    def test_floor_one(self):
+        assert float(sub_block_elems(2, 10)) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            sub_block_elems(10, 0)
+
+
+class TestChargeLocalServe:
+    def test_charges_copy_category(self):
+        rt = PGASRuntime(hps_cluster(2, 2))
+        charge_local_serve(rt, np.full(4, 1000.0), 10_000.0, 1, True)
+        assert rt.trace.category_seconds["Copy"] > 0
+
+    def test_tprime_adds_sort_charge(self):
+        rt = PGASRuntime(hps_cluster(2, 2))
+        charge_local_serve(rt, np.full(4, 1000.0), 10_000.0, 4, True)
+        assert rt.trace.category_seconds["Sort"] > 0
+
+    def test_localcpy_cheaper(self):
+        def run(localcpy):
+            rt = PGASRuntime(hps_cluster(2, 2))
+            charge_local_serve(rt, np.full(4, 10_000.0), 100_000.0, 1, localcpy)
+            return rt.elapsed
+
+        assert run(True) < run(False)
+
+    def test_distinct_relief(self):
+        def run(distinct):
+            rt = PGASRuntime(hps_cluster(2, 2))
+            charge_local_serve(
+                rt, np.full(4, 10_000.0), 1e6, 1, True, distinct=distinct
+            )
+            return rt.elapsed
+
+        duplicated = run(np.full(4, 10.0))
+        unique = run(np.full(4, 10_000.0))
+        assert duplicated < unique
+
+    def test_invalid_tprime(self):
+        rt = PGASRuntime(hps_cluster(2, 2))
+        with pytest.raises(ConfigError):
+            charge_local_serve(rt, np.full(4, 10.0), 100.0, 0, True)
