@@ -55,10 +55,13 @@ from .errors import (
     ConfigError,
     ConvergenceError,
     DistributionError,
+    FaultError,
     GraphError,
     ReproError,
+    ThreadCrash,
     VerificationError,
 )
+from .faults import CrashEvent, FaultInjector, FaultPlan, NicDegradation, RetryPolicy
 from .graph import (
     EdgeList,
     hybrid_graph,
@@ -88,19 +91,26 @@ __all__ = [
     "CollectiveError",
     "ConfigError",
     "ConvergenceError",
+    "CrashEvent",
     "DEFAULT_BENCH_N",
     "DistributionError",
     "EdgeList",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
     "GraphError",
     "MSTResult",
     "MST_IMPLS",
     "MachineConfig",
+    "NicDegradation",
     "OptimizationFlags",
     "PGASRuntime",
     "PartitionedArray",
     "ReproError",
+    "RetryPolicy",
     "SharedArray",
     "SolveInfo",
+    "ThreadCrash",
     "VerificationError",
     "__version__",
     "canonical_labels",

@@ -186,7 +186,7 @@ def _breakdown_figure(kind: str, figure: str, scale: float) -> FigureResult:
     fig = FigureResult(
         figure=figure,
         title=f"cumulative optimizations, {kind} n={n} m={m}, 16 nodes x 8 threads",
-        columns=["config", "total ms"] + list(Category.ALL),
+        columns=["config", "total ms"] + list(Category.FIG5),
         paper={
             "Comm reduction at circular": "~2x",
             "Copy reduction at localcpy": "~2x",
@@ -201,7 +201,7 @@ def _breakdown_figure(kind: str, figure: str, scale: float) -> FigureResult:
         fig.add(
             config=label,
             **{"total ms": res.info.sim_time_ms},
-            **{c: breakdown[c] * 1e3 for c in Category.ALL},
+            **{c: breakdown[c] * 1e3 for c in Category.FIG5},
         )
     comm_before = results["offload"].info.breakdown()[Category.COMM]
     comm_after = results["circular"].info.breakdown()[Category.COMM]

@@ -26,6 +26,8 @@ from ..collectives.getd import getd
 from ..collectives.setd import setd
 from ..core.optimizations import OptimizationFlags
 from ..core.results import CCResult, SolveInfo
+from ..errors import ThreadCrash
+from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
 from ..runtime.machine import MachineConfig, hps_cluster
@@ -84,15 +86,21 @@ def solve_cc_collective(
     opts: OptimizationFlags = OptimizationFlags.all(),
     tprime: int = 1,
     sort_method: str = "count",
+    faults=None,
 ) -> CCResult:
     """Connected components via GetD/SetD collectives.
 
     Produces the same labels as every other implementation in this
     package (snapshot grafting, min adjudication).
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan`.  When the plan
+    schedules crashes, each grafting round checkpoints the label array
+    and the live edge partitions; an injected crash restores the last
+    checkpoint and replays only the lost round.
     """
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine)
+    rt = PGASRuntime(machine, faults=faults)
     n = graph.n
     if n == 0:
         info = SolveInfo(machine, "cc-collective", 0.0, time.perf_counter() - wall_start, 0, rt.trace)
@@ -105,39 +113,54 @@ def solve_cc_collective(
     ctx = CollectiveContext()
     hot = 0 if opts.offload else None
 
+    ck = RoundCheckpointer(rt)
     iteration = 0
     while True:
         iteration += 1
         check_converged(iteration, n, "cc-collective grafting")
-        rt.counters.add(iterations=1)
+        ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
+        try:
+            rt.counters.add(iterations=1)
 
-        du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
-        dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
+            du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
+            dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
 
-        if opts.compact:
-            keep = du != dv
-            rt.local_ops(u_part.sizes().astype(np.float64))
-            if not keep.all():
-                u_part = u_part.filter(keep)
-                v_part = v_part.filter(keep)
-                du, dv = du[keep], dv[keep]
-                ctx.invalidate()
+            if opts.compact:
+                keep = du != dv
+                rt.local_ops(u_part.sizes().astype(np.float64))
+                if not keep.all():
+                    u_part = u_part.filter(keep)
+                    v_part = v_part.filter(keep)
+                    du, dv = du[keep], dv[keep]
+                    ctx.invalidate()
 
-        ddu = getd(rt, d, u_part.with_data(du), opts, None, None, tprime, sort_method, hot_value=hot)
-        ddv = getd(rt, d, v_part.with_data(dv), opts, None, None, tprime, sort_method, hot_value=hot)
-        rt.local_ops(6.0 * u_part.sizes().astype(np.float64))
+            ddu = getd(
+                rt, d, u_part.with_data(du), opts, None, None, tprime, sort_method, hot_value=hot
+            )
+            ddv = getd(
+                rt, d, v_part.with_data(dv), opts, None, None, tprime, sort_method, hot_value=hot
+            )
+            rt.local_ops(6.0 * u_part.sizes().astype(np.float64))
 
-        step = graft_proposals(du, dv, ddu, ddv)
-        targets = u_part.filter(step.mask).with_data(step.targets)
-        changed = setd(
-            rt, d, targets, step.values, opts, ctx=None, cache_key=None,
-            tprime=tprime, sort_method=sort_method,
-            drop_hot=True, hot_index=0,
-        )
-        pointer_jump_to_stars(rt, d, opts, tprime, sort_method, vert_offsets)
+            step = graft_proposals(du, dv, ddu, ddv)
+            targets = u_part.filter(step.mask).with_data(step.targets)
+            changed = setd(
+                rt, d, targets, step.values, opts, ctx=None, cache_key=None,
+                tprime=tprime, sort_method=sort_method,
+                drop_hot=True, hot_index=0,
+            )
+            pointer_jump_to_stars(rt, d, opts, tprime, sort_method, vert_offsets)
 
-        changed_flags = np.full(rt.s, changed > 0)
-        if not rt.allreduce_flag(changed_flags):
+            changed_flags = np.full(rt.s, changed > 0)
+            done = not rt.allreduce_flag(changed_flags)
+        except ThreadCrash:
+            state = ck.restore()
+            d.data[:] = state["d"]
+            u_part, v_part = state["u_part"], state["v_part"]
+            ctx.invalidate()
+            iteration -= 1
+            continue
+        if done:
             break
 
     labels = d.data.copy()

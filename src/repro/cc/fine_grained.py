@@ -80,17 +80,22 @@ def _vertex_partition_offsets(d) -> np.ndarray:
 
 
 def solve_cc_fine_grained(
-    graph: EdgeList, machine: MachineConfig, style: str
+    graph: EdgeList, machine: MachineConfig, style: str, faults=None
 ) -> CCResult:
     """Run graft-and-shortcut CC with per-element access costs.
 
     Returns labels identical to every other implementation in this
     package (same snapshot semantics, same min adjudication).
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan`; loss and
+    stragglers apply to every fine-grained access.  Crash events never
+    fire here — the asynchronous loops have no synchronization points —
+    which is itself part of the model (see docs/fault-model.md).
     """
     if style not in _STYLES:
         raise ConfigError(f"style must be one of {_STYLES}, got {style!r}")
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine)
+    rt = PGASRuntime(machine, faults=faults)
     n = graph.n
     ep = distribute_edges(graph, rt.s)
     d = rt.shared_array(np.arange(n, dtype=np.int64)) if n else None

@@ -19,9 +19,11 @@ from .fine_grained import solve_cc_fine_grained
 __all__ = ["solve_cc_naive_upc"]
 
 
-def solve_cc_naive_upc(graph: EdgeList, machine: MachineConfig | None = None) -> CCResult:
+def solve_cc_naive_upc(
+    graph: EdgeList, machine: MachineConfig | None = None, faults=None
+) -> CCResult:
     """Run the literal UPC translation of graft-and-shortcut CC."""
     machine = machine if machine is not None else hps_cluster()
     if machine.nodes < 1:
         raise ConfigError("naive UPC CC needs a machine")
-    return solve_cc_fine_grained(graph, machine, style="upc")
+    return solve_cc_fine_grained(graph, machine, style="upc", faults=faults)

@@ -18,11 +18,17 @@ from .fine_grained import solve_cc_fine_grained
 __all__ = ["solve_cc_smp"]
 
 
-def solve_cc_smp(graph: EdgeList, machine: MachineConfig | None = None) -> CCResult:
-    """Run CC-SMP on a single-node machine (default: 16 threads)."""
+def solve_cc_smp(
+    graph: EdgeList, machine: MachineConfig | None = None, faults=None
+) -> CCResult:
+    """Run CC-SMP on a single-node machine (default: 16 threads).
+
+    A fault plan on an SMP run only models stragglers — there is no
+    network to lose messages on.
+    """
     machine = machine if machine is not None else smp_node(16)
     if machine.nodes != 1:
         raise ConfigError(
             f"CC-SMP is a single-node baseline; got a {machine.nodes}-node machine"
         )
-    return solve_cc_fine_grained(graph, machine, style="smp")
+    return solve_cc_fine_grained(graph, machine, style="smp", faults=faults)

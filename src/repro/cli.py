@@ -67,6 +67,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="enable the future-work hierarchical collectives",
     )
     parser.add_argument("--validate", action="store_true", help="self-check the answer")
+    parser.add_argument(
+        "--fault-loss",
+        type=float,
+        default=0.0,
+        help="uniform per-message loss probability (e.g. 1e-3); cc/mst only",
+    )
+    parser.add_argument(
+        "--fault-stragglers",
+        type=int,
+        default=0,
+        help="number of straggler threads (4x slowdown); cc/mst only",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault plan's RNG"
+    )
 
 
 def _parse_machine(spec: str, n: int, calibrate: bool):
@@ -105,6 +120,25 @@ def _build_graph(args: argparse.Namespace, weighted: bool):
     return with_random_weights(g, seed=args.seed + 1) if weighted else g
 
 
+def _fault_plan(args: argparse.Namespace, machine):
+    """Build the FaultPlan the CLI flags describe (None when unused)."""
+    from .faults import FaultPlan
+
+    return FaultPlan.from_cli(
+        loss=args.fault_loss,
+        stragglers=args.fault_stragglers,
+        seed=args.fault_seed,
+        total_threads=machine.total_threads,
+    )
+
+
+def _reject_fault_flags(args: argparse.Namespace, command: str) -> None:
+    from .errors import ConfigError
+
+    if getattr(args, "fault_loss", 0.0) or getattr(args, "fault_stragglers", 0):
+        raise ConfigError(f"fault injection is only supported for cc/mst, not {command}")
+
+
 def _print_info(info: SolveInfo) -> None:
     print(f"\nmachine : {info.machine.describe()}")
     print(f"modeled : {info.sim_time_ms:.3f} ms in {info.iterations} iteration(s)")
@@ -117,6 +151,11 @@ def _print_info(info: SolveInfo) -> None:
         f"comm    : {c.remote_messages:,} messages / {c.remote_bytes:,} bytes /"
         f" {c.collective_calls} collectives / {c.barriers} barriers"
     )
+    if c.retries or c.crashes or c.checkpoint_restores:
+        print(
+            f"faults  : {c.retries:,} retries / {c.crashes} crashes /"
+            f" {c.checkpoint_restores} checkpoint restores"
+        )
 
 
 def _cmd_cc(args: argparse.Namespace) -> int:
@@ -125,7 +164,8 @@ def _cmd_cc(args: argparse.Namespace) -> int:
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"connected components — {args.kind} n={g.n:,} m={g.m:,}"))
     res = connected_components(
-        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate
+        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
+        faults=_fault_plan(args, machine),
     )
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
@@ -138,7 +178,8 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"minimum spanning forest — {args.kind} n={g.n:,} m={g.m:,}"))
     res = minimum_spanning_forest(
-        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate
+        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
+        faults=_fault_plan(args, machine),
     )
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
@@ -148,6 +189,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
 def _cmd_listrank(args: argparse.Namespace) -> int:
     from .listrank import random_list, solve_ranks_cgm, solve_ranks_sequential, solve_ranks_wyllie
 
+    _reject_fault_flags(args, "listrank")
     lst = random_list(args.n, args.seed)
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
@@ -167,6 +209,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     from .bfs import solve_bfs_collective, solve_bfs_naive_upc, solve_bfs_sequential
     from .bfs.solvers import UNREACHED
 
+    _reject_fault_flags(args, "bfs")
     g = _build_graph(args, weighted=False)
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)

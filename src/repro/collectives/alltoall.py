@@ -72,6 +72,16 @@ def charge_setup(
         rt.counters.add(
             remote_messages=2 * s * max(s - 1, 0), remote_bytes=2 * s * max(s - 1, 0) * 8
         )
+    if rt.faults is not None and rt.machine.nodes > 1:
+        # The setup burst's short messages are loss opportunities too.
+        t = rt.machine.threads_per_node
+        if hierarchical:
+            per_thread = 2.0 * max(rt.machine.nodes - 1, 0) / t
+        else:
+            per_thread = 2.0 * max(s - t, 0)
+        rt.charge_message_faults(
+            np.full(rt.s, per_thread), rt.cost.remote_message_time(8.0)
+        )
     rt.barrier()
 
 

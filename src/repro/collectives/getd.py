@@ -159,6 +159,14 @@ def charge_transfers(
         remote_messages=int(round(float(np.asarray(plan.remote_msgs, dtype=np.float64).sum()))),
         remote_bytes=int(plan.remote_elems.sum()) * bytes_per,
     )
+    if rt.faults is not None:
+        # A dropped coalesced message costs a timeout plus retransmitting
+        # the whole payload of that (average-sized) message.
+        msgs = np.asarray(plan.remote_msgs, dtype=np.float64)
+        avg_bytes = np.where(
+            msgs > 0, plan.remote_elems.astype(np.float64) * bytes_per / np.maximum(msgs, 1.0), 0.0
+        )
+        rt.charge_message_faults(msgs, rt.cost.remote_message_time(avg_bytes, rdma=opts.rdma))
 
 
 def charge_permute_back(rt: PGASRuntime, sizes: np.ndarray, bytes_per: int) -> None:

@@ -71,6 +71,7 @@ def connected_components(
     tprime: "int | str" = 1,
     sort_method: str = "count",
     validate: bool = False,
+    faults=None,
 ) -> CCResult:
     """Solve connected components on the simulated machine.
 
@@ -87,16 +88,24 @@ def connected_components(
         grouping sort; only meaningful for the collective/sv impls.
     validate:
         Check the labeling against the scipy oracle before returning.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into the run
+        (``collective``, ``naive``, and ``smp`` impls only).
     """
     tprime = resolve_tprime(tprime, machine, graph.n)
+    if faults is not None and impl not in ("collective", "naive", "smp"):
+        raise ConfigError(
+            f"fault injection is not supported for CC impl {impl!r};"
+            " use 'collective', 'naive', or 'smp'"
+        )
     if impl == "collective":
-        result = solve_cc_collective(graph, machine, opts, tprime, sort_method)
+        result = solve_cc_collective(graph, machine, opts, tprime, sort_method, faults=faults)
     elif impl == "sv":
         result = solve_cc_sv(graph, machine, opts, tprime, sort_method)
     elif impl == "naive":
-        result = solve_cc_naive_upc(graph, machine)
+        result = solve_cc_naive_upc(graph, machine, faults=faults)
     elif impl == "smp":
-        result = solve_cc_smp(graph, machine)
+        result = solve_cc_smp(graph, machine, faults=faults)
     elif impl == "sequential":
         result = solve_cc_sequential(graph, machine)
     elif impl == "cgm":
@@ -116,20 +125,28 @@ def minimum_spanning_forest(
     tprime: "int | str" = 1,
     sort_method: str = "count",
     validate: bool = False,
+    faults=None,
 ) -> MSTResult:
     """Solve minimum spanning forest on the simulated machine.
 
     ``impl`` is ``'collective'`` (lock-free SetDMin Borůvka),
     ``'naive'``, ``'smp'`` (lock-based baselines), or a sequential
     algorithm name (``'kruskal'``, ``'prim'``, ``'boruvka'``).
+    ``faults`` optionally injects a :class:`~repro.faults.FaultPlan`
+    into the simulated impls (``collective``, ``naive``, ``smp``).
     """
     tprime = resolve_tprime(tprime, machine, graph.n)
+    if faults is not None and impl not in ("collective", "naive", "smp"):
+        raise ConfigError(
+            f"fault injection is not supported for MST impl {impl!r};"
+            " use 'collective', 'naive', or 'smp'"
+        )
     if impl == "collective":
-        result = solve_mst_collective(graph, machine, opts, tprime, sort_method)
+        result = solve_mst_collective(graph, machine, opts, tprime, sort_method, faults=faults)
     elif impl == "naive":
-        result = solve_mst_naive_upc(graph, machine)
+        result = solve_mst_naive_upc(graph, machine, faults=faults)
     elif impl == "smp":
-        result = solve_mst_smp(graph, machine)
+        result = solve_mst_smp(graph, machine, faults=faults)
     elif impl in ("kruskal", "prim", "boruvka"):
         result = solve_mst_sequential(graph, machine, algorithm=impl)
     else:

@@ -14,6 +14,8 @@ __all__ = [
     "GraphError",
     "ConvergenceError",
     "VerificationError",
+    "FaultError",
+    "ThreadCrash",
 ]
 
 
@@ -53,3 +55,29 @@ class ConvergenceError(ReproError, RuntimeError):
 class VerificationError(ReproError, AssertionError):
     """A result failed self-verification (invalid forest, wrong component
     count, ...)."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """An injected fault could not be absorbed by the runtime's recovery
+    machinery: a simulated message exhausted its :class:`~repro.faults.
+    RetryPolicy` retry budget, or a thread crash fired where no
+    checkpoint/replay handler was installed."""
+
+
+class ThreadCrash(FaultError):
+    """Control-flow signal for a scheduled thread crash.
+
+    Raised by the runtime when a :class:`~repro.faults.CrashEvent` fires
+    at a synchronization point.  Solvers with round checkpointing catch
+    it, restore the last checkpoint, and replay the lost round; solvers
+    without recovery let it propagate as a :class:`FaultError`.
+    """
+
+    def __init__(self, thread: int, at_time: float, recovery: float) -> None:
+        super().__init__(
+            f"thread {thread} crashed at t={at_time * 1e3:.3f} ms "
+            f"(recovery {recovery * 1e3:.3f} ms)"
+        )
+        self.thread = thread
+        self.at_time = at_time
+        self.recovery = recovery

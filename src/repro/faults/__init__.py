@@ -1,0 +1,29 @@
+"""Fault injection for the simulated PGAS cluster.
+
+The paper's UPC runs assume a healthy interconnect; this package lets
+the reproduction stop assuming.  A :class:`FaultPlan` declares lossy
+links, straggler threads, transient NIC-degradation windows, and
+scheduled thread crashes; a :class:`FaultInjector` executes the plan
+deterministically (seeded ``numpy`` Generator, virtual-clock time only);
+:class:`RetryPolicy` prices lost messages (timeout + exponential backoff
++ retransmit, ``FaultError`` on exhaustion); and
+:class:`RoundCheckpointer` gives the iterative solvers crash-and-recover
+round replay.  See ``docs/fault-model.md`` for the full taxonomy and the
+determinism guarantees.
+"""
+
+from ..errors import FaultError, ThreadCrash
+from .checkpoint import RoundCheckpointer
+from .injector import FaultInjector
+from .plan import CrashEvent, FaultPlan, NicDegradation, RetryPolicy
+
+__all__ = [
+    "CrashEvent",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "NicDegradation",
+    "RetryPolicy",
+    "RoundCheckpointer",
+    "ThreadCrash",
+]

@@ -1,0 +1,136 @@
+"""Deterministic fault injection against a :class:`FaultPlan`.
+
+The injector owns the plan's seeded ``numpy`` Generator and answers the
+runtime's questions — "how many of these messages needed retransmits?",
+"how slow is this thread?", "did anyone crash yet?" — as pure functions
+of the plan, the seed, and the (deterministic) order of queries.  It
+never reads wall-clock time, so a run's modeled times are byte-identical
+across repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..runtime.machine import MachineConfig
+from .plan import CrashEvent, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful per-run interpreter of a :class:`FaultPlan`.
+
+    One injector serves one run: it holds the RNG stream and the not-yet-
+    fired crash events.  Construct a fresh one per solve (the runtime
+    does this when handed a plan) so identical plans give identical runs.
+    """
+
+    def __init__(self, plan: FaultPlan, machine: MachineConfig) -> None:
+        self.plan = plan
+        self.machine = machine
+        self.retry = plan.retry
+        self.s = machine.total_threads
+        self.rng = np.random.default_rng(plan.seed)
+        self.node_of = np.arange(self.s, dtype=np.int64) // machine.threads_per_node
+
+        for node in plan.link_loss:
+            if not 0 <= node < machine.nodes:
+                raise ConfigError(f"link_loss node {node} out of range [0, {machine.nodes})")
+        for window in plan.nic_degradations:
+            if window.node >= machine.nodes:
+                raise ConfigError(
+                    f"degradation node {window.node} out of range [0, {machine.nodes})"
+                )
+        for thread in plan.stragglers:
+            if thread >= self.s:
+                raise ConfigError(f"straggler thread {thread} out of range [0, {self.s})")
+        for event in plan.crashes:
+            if event.thread >= self.s:
+                raise ConfigError(f"crash thread {event.thread} out of range [0, {self.s})")
+
+        #: Per-node uplink loss probability.
+        self.node_loss = np.full(machine.nodes, plan.loss, dtype=np.float64)
+        for node, prob in plan.link_loss.items():
+            self.node_loss[node] = prob
+        #: Per-thread slowdown multipliers (1.0 = healthy).
+        self.slowdown = np.ones(self.s, dtype=np.float64)
+        for thread, factor in plan.stragglers.items():
+            self.slowdown[thread] = factor
+        self._lossy = bool(np.any(self.node_loss > 0.0))
+        self._slow = bool(np.any(self.slowdown > 1.0))
+        #: Crash events still pending, ordered by scheduled time so the
+        #: earliest-due event is always consumed first (deterministic).
+        self._pending: List[CrashEvent] = sorted(plan.crashes, key=lambda e: e.at_time)
+
+    # -- per-thread multipliers ---------------------------------------------
+
+    def local_factor(self) -> "np.ndarray | None":
+        """Straggler multipliers for local-work charges, or ``None`` when
+        every thread is healthy (lets the runtime skip the multiply)."""
+        return self.slowdown if self._slow else None
+
+    def comm_factor(self, times: np.ndarray) -> "np.ndarray | None":
+        """Combined straggler + transient-NIC multiplier for
+        communication charges, evaluated at the current virtual clocks
+        (a degradation window applies while the node's threads' clocks
+        sit inside it)."""
+        factor = self.slowdown if self._slow else None
+        for window in self.plan.nic_degradations:
+            in_window = (
+                (self.node_of == window.node)
+                & (times >= window.start)
+                & (times < window.end)
+            )
+            if in_window.any():
+                if factor is None:
+                    factor = np.ones(self.s, dtype=np.float64)
+                elif factor is self.slowdown:
+                    factor = self.slowdown.copy()
+                factor[in_window] *= window.factor
+        return factor
+
+    # -- message loss --------------------------------------------------------
+
+    def sample_retries(self, msg_counts) -> tuple[np.ndarray, int]:
+        """Retransmission counts for a batch of simulated messages.
+
+        ``msg_counts`` is the per-thread number of messages issued this
+        charge.  Each message on a link with loss probability ``q``
+        succeeds per attempt with probability ``1 - q``, so the total
+        retransmits for a thread's batch follow a negative binomial
+        (failures before ``counts`` successes) — sampled in one draw per
+        thread instead of one per message.  Returns ``(retries, dead)``
+        where ``dead`` counts messages that lost the
+        ``q ** max_attempts`` lottery and permanently failed.
+        """
+        counts = np.rint(np.asarray(msg_counts, dtype=np.float64)).astype(np.int64)
+        counts = np.maximum(counts, 0)
+        retries = np.zeros(self.s, dtype=np.int64)
+        if not self._lossy:
+            return retries, 0
+        loss = self.node_loss[self.node_of]
+        mask = (counts > 0) & (loss > 0.0)
+        if not mask.any():
+            return retries, 0
+        retries[mask] = self.rng.negative_binomial(counts[mask], 1.0 - loss[mask])
+        dead = self.rng.binomial(counts[mask], loss[mask] ** self.retry.max_attempts)
+        return retries, int(np.asarray(dead).sum())
+
+    # -- crashes -------------------------------------------------------------
+
+    def poll_crash(self, times: np.ndarray) -> Optional[CrashEvent]:
+        """Consume and return the earliest pending crash whose scheduled
+        time the crashing thread's clock has passed, if any."""
+        for i, event in enumerate(self._pending):
+            if times[event.thread] >= event.at_time:
+                del self._pending[i]
+                return event
+        return None
+
+    @property
+    def pending_crashes(self) -> int:
+        return len(self._pending)

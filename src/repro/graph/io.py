@@ -8,7 +8,9 @@ NumPy ``.npz`` with ``n``, ``u``, ``v`` and optionally ``w``.
 
 from __future__ import annotations
 
+import logging
 import os
+import zipfile
 from pathlib import Path
 from typing import Callable
 
@@ -16,6 +18,8 @@ import numpy as np
 
 from ..errors import GraphError
 from .edgelist import EdgeList
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["save_edgelist", "load_edgelist", "cached_graph"]
 
@@ -44,10 +48,18 @@ def load_edgelist(path: str | os.PathLike) -> EdgeList:
 
 
 def cached_graph(path: str | os.PathLike, builder: Callable[[], EdgeList]) -> EdgeList:
-    """Load ``path`` if it exists, else build, save, and return."""
+    """Load ``path`` if it exists, else build, save, and return.
+
+    A corrupt or truncated cache file (interrupted write, disk trouble)
+    is not fatal: it is logged, discarded, and regenerated.
+    """
     path = Path(path)
     if path.exists():
-        return load_edgelist(path)
+        try:
+            return load_edgelist(path)
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, GraphError) as err:
+            logger.warning("corrupt graph cache %s (%s); regenerating", path, err)
+            path.unlink(missing_ok=True)
     graph = builder()
     save_edgelist(graph, path)
     return graph

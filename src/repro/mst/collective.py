@@ -32,7 +32,8 @@ from ..collectives.getd import getd
 from ..collectives.setd import setdmin
 from ..core.optimizations import OptimizationFlags
 from ..core.results import MSTResult, SolveInfo
-from ..errors import GraphError
+from ..errors import GraphError, ThreadCrash
+from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
 from ..runtime.machine import MachineConfig, hps_cluster
@@ -60,13 +61,20 @@ def solve_mst_collective(
     opts: OptimizationFlags = OptimizationFlags.all(),
     tprime: int = 1,
     sort_method: str = "count",
+    faults=None,
 ) -> MSTResult:
-    """Minimum spanning forest via the lock-free collective Borůvka."""
+    """Minimum spanning forest via the lock-free collective Borůvka.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan`.  When the plan
+    schedules crashes, each Borůvka round checkpoints the supervertex
+    labels, the live edge partitions, and the forest size; an injected
+    crash restores the last checkpoint and replays only the lost round.
+    """
     if graph.w is None:
         raise GraphError("MST needs a weighted graph; use with_random_weights()")
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine)
+    rt = PGASRuntime(machine, faults=faults)
     n = graph.n
     if n == 0 or graph.m == 0:
         info = SolveInfo(machine, "mst-collective", rt.elapsed, time.perf_counter() - wall_start, 0, rt.trace)
@@ -92,88 +100,104 @@ def solve_mst_collective(
     hot = None
     jump_opts = opts.with_(offload=False)
 
+    ck = RoundCheckpointer(rt)
     chosen: list[np.ndarray] = []
     iteration = 0
     while True:
         iteration += 1
         check_converged(iteration, n, "mst-collective")
-        rt.counters.add(iterations=1)
+        ck.save(
+            arrays={"d": d.data},
+            u_part=u_part, v_part=v_part, w_part=w_part, id_part=id_part,
+            nchosen=len(chosen),
+        )
+        try:
+            rt.counters.add(iterations=1)
 
-        du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
-        dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
-        cross = du != dv
-        rt.local_ops(u_part.sizes().astype(np.float64))
-        cross_per_thread = u_part.segment_counts_where(cross)
-        if not rt.allreduce_flag(cross_per_thread > 0):
-            break
+            du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
+            dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
+            cross = du != dv
+            rt.local_ops(u_part.sizes().astype(np.float64))
+            cross_per_thread = u_part.segment_counts_where(cross)
+            if not rt.allreduce_flag(cross_per_thread > 0):
+                break
 
-        if opts.compact and not cross.all():
-            u_part = u_part.filter(cross)
-            v_part = v_part.filter(cross)
-            w_part = w_part.filter(cross)
-            id_part = id_part.filter(cross)
-            du, dv = du[cross], dv[cross]
+            if opts.compact and not cross.all():
+                u_part = u_part.filter(cross)
+                v_part = v_part.filter(cross)
+                w_part = w_part.filter(cross)
+                id_part = id_part.filter(cross)
+                du, dv = du[cross], dv[cross]
+                ctx.invalidate()
+                live = u_part
+                du_c, dv_c = du, dv
+                w_c, id_c = w_part.data, id_part.data
+            elif cross.all():
+                live = u_part
+                du_c, dv_c = du, dv
+                w_c, id_c = w_part.data, id_part.data
+            else:
+                live = u_part.filter(cross)
+                du_c, dv_c = du[cross], dv[cross]
+                w_c, id_c = w_part.data[cross], id_part.data[cross]
+
+            # Candidate keys: (weight, live position) packed for min-reduction.
+            positions = np.arange(live.total, dtype=np.int64)
+            keys = pack_candidates(w_c, positions)
+            rt.local_ops(2.0 * live.sizes().astype(np.float64))
+            # Streaming the live edge slice (u, v, w, id) to build the bids.
+            rt.local_stream(4.0 * live.sizes().astype(np.float64), Category.WORK)
+
+            # Reset the per-supervertex minimum array (owner-local).
+            minedge.data[:] = NO_EDGE
+            rt.local_stream(sizes_local, Category.COPY)
+
+            # Every live edge bids for both endpoint supervertices.
+            targets = PartitionedArray.concat_pairwise(
+                live.with_data(du_c), live.with_data(dv_c)
+            )
+            bids = PartitionedArray.concat_pairwise(
+                live.with_data(keys), live.with_data(keys)
+            )
+            # Each bid ships a 4-word record: packed key, both endpoint
+            # labels, and the global edge id.
+            setdmin(
+                rt, minedge, targets, bids.data, opts, None, None, tprime, sort_method,
+                record_words=4,
+            )
+
+            # Owners scan their blocks for winners.
+            rt.local_stream(sizes_local, Category.COPY)
+            roots, pos = extract_winners(minedge.data)
+            chosen.append(np.unique(id_c[pos]))
+            # The winning record's endpoints/edge-id ride along with the key
+            # (the SetDMin payload); charge the owner-side unpack.
+            rt.local_ops(4.0 * float(roots.size) / rt.s)
+
+            # Hook each winning supervertex onto its partner (owner-local
+            # write: minedge and d share the same distribution).
+            ra, rb = du_c[pos], dv_c[pos]
+            partners = ra + rb - roots
+            d.data[roots] = partners
+            hook_writes = np.bincount(d.owner_thread(roots), minlength=rt.s).astype(np.float64)
+            rt.local_stream(hook_writes, Category.COPY)
+
+            # Break mutual hooks; needs d[partner] — a collective gather.
+            partner_part = partition_by_owner(roots, d).with_data(partners)
+            getd(rt, d, partner_part, opts, None, None, tprime, sort_method)
+            break_hook_cycles(d.data, roots)
+            rt.local_ops(float(roots.size))
+
+            pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
+        except ThreadCrash:
+            state = ck.restore()
+            d.data[:] = state["d"]
+            u_part, v_part = state["u_part"], state["v_part"]
+            w_part, id_part = state["w_part"], state["id_part"]
+            del chosen[state["nchosen"]:]
             ctx.invalidate()
-            live = u_part
-            du_c, dv_c = du, dv
-            w_c, id_c = w_part.data, id_part.data
-        elif cross.all():
-            live = u_part
-            du_c, dv_c = du, dv
-            w_c, id_c = w_part.data, id_part.data
-        else:
-            live = u_part.filter(cross)
-            du_c, dv_c = du[cross], dv[cross]
-            w_c, id_c = w_part.data[cross], id_part.data[cross]
-
-        # Candidate keys: (weight, live position) packed for min-reduction.
-        positions = np.arange(live.total, dtype=np.int64)
-        keys = pack_candidates(w_c, positions)
-        rt.local_ops(2.0 * live.sizes().astype(np.float64))
-        # Streaming the live edge slice (u, v, w, id) to build the bids.
-        rt.local_stream(4.0 * live.sizes().astype(np.float64), Category.WORK)
-
-        # Reset the per-supervertex minimum array (owner-local).
-        minedge.data[:] = NO_EDGE
-        rt.local_stream(sizes_local, Category.COPY)
-
-        # Every live edge bids for both endpoint supervertices.
-        targets = PartitionedArray.concat_pairwise(
-            live.with_data(du_c), live.with_data(dv_c)
-        )
-        bids = PartitionedArray.concat_pairwise(
-            live.with_data(keys), live.with_data(keys)
-        )
-        # Each bid ships a 4-word record: packed key, both endpoint
-        # labels, and the global edge id.
-        setdmin(
-            rt, minedge, targets, bids.data, opts, None, None, tprime, sort_method,
-            record_words=4,
-        )
-
-        # Owners scan their blocks for winners.
-        rt.local_stream(sizes_local, Category.COPY)
-        roots, pos = extract_winners(minedge.data)
-        chosen.append(np.unique(id_c[pos]))
-        # The winning record's endpoints/edge-id ride along with the key
-        # (the SetDMin payload); charge the owner-side unpack.
-        rt.local_ops(4.0 * float(roots.size) / rt.s)
-
-        # Hook each winning supervertex onto its partner (owner-local
-        # write: minedge and d share the same distribution).
-        ra, rb = du_c[pos], dv_c[pos]
-        partners = ra + rb - roots
-        d.data[roots] = partners
-        hook_writes = np.bincount(d.owner_thread(roots), minlength=rt.s).astype(np.float64)
-        rt.local_stream(hook_writes, Category.COPY)
-
-        # Break mutual hooks; needs d[partner] — a collective gather.
-        partner_part = partition_by_owner(roots, d).with_data(partners)
-        getd(rt, d, partner_part, opts, None, None, tprime, sort_method)
-        break_hook_cycles(d.data, roots)
-        rt.local_ops(float(roots.size))
-
-        pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
+            iteration -= 1
+            continue
 
     edge_ids = (
         np.sort(np.concatenate(chosen)) if chosen else np.empty(0, dtype=np.int64)

@@ -50,15 +50,21 @@ def _contention(targets: np.ndarray) -> float:
 
 
 def solve_mst_fine_grained(
-    graph: EdgeList, machine: MachineConfig, style: str
+    graph: EdgeList, machine: MachineConfig, style: str, faults=None
 ) -> MSTResult:
-    """Lock-based Borůvka with per-element access costs."""
+    """Lock-based Borůvka with per-element access costs.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan`; loss and
+    stragglers apply to every fine-grained access.  Crash events never
+    fire here — the asynchronous loops have no synchronization points —
+    which is itself part of the model (see docs/fault-model.md).
+    """
     if style not in _STYLES:
         raise ConfigError(f"style must be one of {_STYLES}, got {style!r}")
     if graph.w is None:
         raise GraphError("MST needs a weighted graph; use with_random_weights()")
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine)
+    rt = PGASRuntime(machine, faults=faults)
     n = graph.n
     if n == 0 or graph.m == 0:
         info = SolveInfo(machine, f"mst-{style}", rt.elapsed, time.perf_counter() - wall_start, 0, rt.trace)

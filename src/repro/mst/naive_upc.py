@@ -18,9 +18,11 @@ from .fine_grained import solve_mst_fine_grained
 __all__ = ["solve_mst_naive_upc"]
 
 
-def solve_mst_naive_upc(graph: EdgeList, machine: MachineConfig | None = None) -> MSTResult:
+def solve_mst_naive_upc(
+    graph: EdgeList, machine: MachineConfig | None = None, faults=None
+) -> MSTResult:
     """Run the literal UPC translation of lock-based Borůvka."""
     machine = machine if machine is not None else hps_cluster()
     if machine.nodes < 1:
         raise ConfigError("naive UPC MST needs a machine")
-    return solve_mst_fine_grained(graph, machine, style="upc")
+    return solve_mst_fine_grained(graph, machine, style="upc", faults=faults)

@@ -16,11 +16,17 @@ from .fine_grained import solve_mst_fine_grained
 __all__ = ["solve_mst_smp"]
 
 
-def solve_mst_smp(graph: EdgeList, machine: MachineConfig | None = None) -> MSTResult:
-    """Run MST-SMP on a single-node machine (default: 16 threads)."""
+def solve_mst_smp(
+    graph: EdgeList, machine: MachineConfig | None = None, faults=None
+) -> MSTResult:
+    """Run MST-SMP on a single-node machine (default: 16 threads).
+
+    A fault plan on an SMP run only models stragglers — there is no
+    network to lose messages on.
+    """
     machine = machine if machine is not None else smp_node(16)
     if machine.nodes != 1:
         raise ConfigError(
             f"MST-SMP is a single-node baseline; got a {machine.nodes}-node machine"
         )
-    return solve_mst_fine_grained(graph, machine, style="smp")
+    return solve_mst_fine_grained(graph, machine, style="smp", faults=faults)

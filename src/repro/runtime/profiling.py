@@ -31,6 +31,7 @@ class PhaseRecord:
     duration_s: float    # phase wall on the simulated clock (max thread)
     imbalance_s: float   # max - min thread time at the phase's final barrier
     hottest_thread: int
+    retries: int = 0     # message retransmits injected during the phase
 
     @property
     def wait_fraction(self) -> float:
@@ -54,6 +55,7 @@ class PhaseProfiler:
         after: np.ndarray,
         imbalance_s: float = 0.0,
         hottest_thread: int = 0,
+        retries: int = 0,
     ) -> None:
         delta = after - before
         self.records.append(
@@ -63,6 +65,7 @@ class PhaseProfiler:
                 duration_s=float(delta.max(initial=0.0)),
                 imbalance_s=float(imbalance_s),
                 hottest_thread=int(hottest_thread),
+                retries=int(retries),
             )
         )
 
@@ -90,11 +93,11 @@ def render_phases(records: Sequence[PhaseRecord], limit: int | None = 20) -> str
         chosen = chosen[:limit]
     rows = [
         [r.name, r.requests, f"{r.duration_s * 1e3:.4f}", f"{r.imbalance_s * 1e3:.4f}",
-         f"{r.wait_fraction:.2f}", r.hottest_thread]
+         f"{r.wait_fraction:.2f}", r.hottest_thread, r.retries]
         for r in chosen
     ]
     return format_table(
-        ["phase", "requests", "ms", "imbalance ms", "wait frac", "hot thread"], rows
+        ["phase", "requests", "ms", "imbalance ms", "wait frac", "hot thread", "retries"], rows
     )
 
 

@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import CollectiveError
+from ..errors import CollectiveError, FaultError, ThreadCrash
 from .clocks import ThreadClocks
 from .cost import CostModel
 from .machine import MachineConfig
@@ -40,15 +40,33 @@ class PGASRuntime:
 
     ``profile=True`` attaches a :class:`~repro.runtime.profiling.PhaseProfiler`
     that records one entry per collective call (duration, mean thread
-    time, skew) — the tool for locating hotspots like the serves the
-    ``offload`` optimization defuses.
+    time, skew) — the tool for locating hotspots like the label-
+    concentrated serves that the ``offload`` optimization defuses.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan` (or a
+    pre-built :class:`~repro.faults.FaultInjector`): lost messages then
+    cost timeout + backoff + retransmit on the issuing thread's clock,
+    stragglers and degraded NICs stretch their charges, and scheduled
+    crashes fire at synchronization points.  With no plan (or a no-op
+    plan) the fault layer is skipped entirely and modeled times are
+    bit-identical to a fault-free build.
     """
 
-    def __init__(self, machine: MachineConfig, profile: bool = False) -> None:
+    def __init__(self, machine: MachineConfig, profile: bool = False, faults=None) -> None:
         self.machine = machine
         self.cost = CostModel(machine)
         self.clocks = ThreadClocks(machine)
         self.trace = Trace()
+        self.faults = None
+        if faults is not None:
+            from ..faults.injector import FaultInjector
+
+            injector = (
+                faults if isinstance(faults, FaultInjector) else FaultInjector(faults, machine)
+            )
+            # A no-op plan keeps the zero-overhead default path engaged.
+            if injector.plan.any_faults:
+                self.faults = injector
         self.profiler = None
         from .profiling import PhaseProfiler, current_session
 
@@ -58,9 +76,12 @@ class PGASRuntime:
             if session is not None:
                 session.profilers.append(self.profiler)
 
-    def phase_start(self) -> "np.ndarray | None":
-        """Snapshot clocks if profiling; collectives call this on entry."""
-        return self.clocks.times.copy() if self.profiler is not None else None
+    def phase_start(self) -> "tuple[np.ndarray, int] | None":
+        """Snapshot clocks and retry count if profiling; collectives call
+        this on entry."""
+        if self.profiler is None:
+            return None
+        return self.clocks.times.copy(), self.counters.retries
 
     def phase_end(self, name: str, requests: int, before) -> None:
         """Record a profiled phase; no-op unless profiling is on.
@@ -69,13 +90,15 @@ class PGASRuntime:
         end with one), so hotspots survive the clock equalization.
         """
         if self.profiler is not None and before is not None:
+            times_before, retries_before = before
             self.profiler.record(
                 name,
                 requests,
-                before,
+                times_before,
                 self.clocks.times,
                 imbalance_s=self.clocks.last_barrier_skew,
                 hottest_thread=getattr(self.clocks, "last_hot_thread", 0),
+                retries=self.counters.retries - retries_before,
             )
 
     # -- convenience --------------------------------------------------------
@@ -106,26 +129,83 @@ class PGASRuntime:
 
     def charge(self, category: str, per_thread_seconds) -> None:
         """Charge per-thread local time (parallel across threads)."""
+        if self.faults is not None:
+            factor = self.faults.local_factor()
+            if factor is not None:
+                per_thread_seconds = np.asarray(per_thread_seconds, dtype=np.float64) * factor
         charged = self.clocks.charge(per_thread_seconds)
         self.trace.charge_category(category, float(charged.sum()))
 
     def charge_thread(self, category: str, thread: int, seconds: float) -> None:
+        if self.faults is not None:
+            seconds = seconds * float(self.faults.slowdown[thread])
         self.clocks.charge_thread(thread, seconds)
         self.trace.charge_category(category, seconds)
 
     def charge_comm(self, per_thread_seconds, serialize: bool = True) -> None:
         """Charge communication time; by default serialized through each
-        node's NIC (blocking messages from one node share the link)."""
+        node's NIC (blocking messages from one node share the link).
+
+        With faults active, stragglers and any NIC-degradation window
+        covering a node's current virtual time stretch that node's
+        charges."""
+        if self.faults is not None:
+            factor = self.faults.comm_factor(self.clocks.times)
+            if factor is not None:
+                per_thread_seconds = np.asarray(per_thread_seconds, dtype=np.float64) * factor
         if serialize:
             charged = self.clocks.node_serialize(per_thread_seconds)
         else:
             charged = self.clocks.charge(per_thread_seconds)
         self.trace.charge_category(Category.COMM, float(charged.sum()))
 
+    # -- fault consequences ----------------------------------------------------
+
+    def charge_message_faults(self, msg_counts, per_message_seconds) -> None:
+        """Price message loss for a batch of simulated messages.
+
+        ``msg_counts`` is per-thread messages issued; each retransmit
+        costs the :class:`~repro.faults.RetryPolicy` timeout + backoff
+        plus ``per_message_seconds`` of wire/handling time, charged to
+        the issuing thread's clock under the ``Retry`` category.  Raises
+        :class:`~repro.errors.FaultError` when a message exhausts the
+        retry budget.  No-op without an active fault plan.
+        """
+        if self.faults is None:
+            return
+        retries, dead = self.faults.sample_retries(msg_counts)
+        total = int(retries.sum())
+        if dead:
+            self.counters.add(retries=total)
+            raise FaultError(
+                f"{dead} simulated message(s) exceeded "
+                f"max_attempts={self.faults.retry.max_attempts} and were dropped for good"
+            )
+        if total == 0:
+            return
+        penalty = self.faults.retry.penalty_seconds(retries)
+        penalty = penalty + retries * np.asarray(per_message_seconds, dtype=np.float64)
+        self.charge(Category.RETRY, penalty)
+        self.counters.add(retries=total, remote_messages=total)
+
+    def _poll_crash(self) -> None:
+        """Fire a due crash event: the crashed thread pays its recovery
+        time, every other thread waits at the barrier, and the enclosing
+        round is signalled to replay via :class:`ThreadCrash`."""
+        event = self.faults.poll_crash(self.clocks.times)
+        if event is None:
+            return
+        self.counters.add(crashes=1)
+        self.charge_thread(Category.FAULT, event.thread, event.recovery)
+        self.clocks.barrier(0.0)
+        raise ThreadCrash(event.thread, event.at_time, event.recovery)
+
     def barrier(self) -> None:
         """Full barrier across all simulated threads."""
         self.clocks.barrier(self.cost.barrier_time())
         self.counters.add(barriers=1)
+        if self.faults is not None:
+            self._poll_crash()
 
     def allreduce_flag(self, flags: np.ndarray) -> bool:
         """Logical-OR allreduce used for termination detection.
@@ -145,6 +225,8 @@ class PGASRuntime:
         if self.machine.nodes > 1:
             self.counters.add(remote_messages=rounds * self.s)
         self.counters.add(barriers=1)
+        if self.faults is not None:
+            self._poll_crash()
         return bool(flags.any())
 
     # -- fine-grained shared access (the naive discipline) ---------------------
@@ -203,6 +285,12 @@ class PGASRuntime:
             remote_messages=total,
             remote_bytes=total * bytes_per,
         )
+        if self.faults is not None:
+            # Every per-element message is a loss opportunity; a dropped
+            # one costs a timeout plus a fresh blocking round trip.
+            self.charge_message_faults(
+                remote_counts, self.cost.fine_grained_remote_time(1.0, bytes_per)
+            )
 
     def fine_grained_write(
         self,

@@ -13,6 +13,11 @@ same stacked bars:
 * ``Work``      — allocation, initialization, target-id computation and
                   the algorithm's own compute.
 
+Two fault-layer categories (``Retry``, ``Fault``) sit alongside the six:
+they record retransmission penalties and crash-recovery/checkpoint time
+when a :mod:`repro.faults` plan is active, and stay exactly zero
+otherwise (see ``docs/fault-model.md``).
+
 Counters additionally record message/byte/access totals so tests can
 assert communication-efficiency claims (e.g. "after rewriting, each
 collective incurs O(p) messages per thread") independent of the time
@@ -28,7 +33,14 @@ __all__ = ["Category", "Counters", "Trace"]
 
 
 class Category:
-    """The six Fig. 5 time categories (string constants)."""
+    """Time categories (string constants).
+
+    ``FIG5`` holds the paper's six Fig. 5 categories; ``ALL`` extends
+    them with the fault-layer categories (``Retry`` — timeout/backoff/
+    retransmit time of lost messages; ``Fault`` — crash recovery and
+    checkpoint passes), which stay zero whenever no fault plan is
+    active.
+    """
 
     COMM = "Comm"
     SORT = "Sort"
@@ -36,8 +48,11 @@ class Category:
     IRREGULAR = "Irregular"
     SETUP = "Setup"
     WORK = "Work"
+    RETRY = "Retry"
+    FAULT = "Fault"
 
-    ALL = (COMM, SORT, COPY, IRREGULAR, SETUP, WORK)
+    FIG5 = (COMM, SORT, COPY, IRREGULAR, SETUP, WORK)
+    ALL = FIG5 + (RETRY, FAULT)
 
 
 @dataclass
@@ -56,6 +71,9 @@ class Counters:
     collective_calls: int = 0
     sorted_elements: int = 0
     iterations: int = 0
+    retries: int = 0
+    crashes: int = 0
+    checkpoint_restores: int = 0
 
     def add(self, **deltas: int) -> None:
         for key, value in deltas.items():
@@ -116,3 +134,8 @@ class Trace:
             f" fine={c.fine_remote_accesses} rand={c.local_random_accesses}"
             f" locks={c.lock_ops} barriers={c.barriers} colls={c.collective_calls}"
         )
+        if c.retries or c.crashes or c.checkpoint_restores:
+            yield (
+                f"faults  : retries={c.retries} crashes={c.crashes}"
+                f" restores={c.checkpoint_restores}"
+            )

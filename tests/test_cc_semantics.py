@@ -140,7 +140,7 @@ class TestResultMetadata:
         g = random_graph(100, 250, seed=2)
         res = solve_cc_collective(g, hps_cluster(2, 2))
         bd = res.info.breakdown()
-        assert set(bd) == {"Comm", "Sort", "Copy", "Irregular", "Setup", "Work"}
+        assert set(bd) == {"Comm", "Sort", "Copy", "Irregular", "Setup", "Work", "Retry", "Fault"}
         assert sum(bd.values()) > 0
 
     def test_describe_mentions_impl(self):

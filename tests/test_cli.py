@@ -1,8 +1,25 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro ...`` exactly as a user would."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
 
 
 class TestParser:
@@ -82,6 +99,92 @@ class TestCommands:
     def test_bad_opts(self):
         with pytest.raises(SystemExit):
             main(["cc", "--n", "1000", "--machine", "4x2", "--opts", "warp"])
+
+    def test_cc_with_fault_flags(self, capsys):
+        assert main([
+            "cc", "--n", "2000", "--machine", "4x2", "--validate",
+            "--fault-loss", "1e-3", "--fault-stragglers", "1", "--fault-seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults  :" in out
+
+    def test_mst_with_fault_flags(self, capsys):
+        assert main([
+            "mst", "--n", "2000", "--machine", "4x2", "--validate",
+            "--fault-loss", "1e-3",
+        ]) == 0
+
+    def test_fault_flags_deterministic(self, capsys):
+        argv = [
+            "cc", "--n", "2000", "--machine", "4x2",
+            "--fault-loss", "1e-3", "--fault-stragglers", "1", "--fault-seed", "9",
+        ]
+        def modeled_lines(text):
+            # Everything except the real wall-clock line is deterministic.
+            return [ln for ln in text.splitlines() if not ln.startswith("wall")]
+
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert modeled_lines(first) == modeled_lines(second)
+
+    def test_fault_flags_rejected_for_bfs(self, capsys):
+        assert main(["bfs", "--n", "1000", "--machine", "4x2", "--fault-loss", "1e-3"]) == 2
+        err = capsys.readouterr().err
+        assert "only supported for cc/mst" in err
+
+    def test_fault_flags_rejected_for_listrank(self, capsys):
+        assert main(["listrank", "--n", "500", "--machine", "4x2", "--fault-stragglers", "1"]) == 2
+
+
+class TestFailurePaths:
+    """``python -m repro`` must fail *cleanly*: nonzero exit, a one-line
+    ``error:`` message on stderr, and no traceback."""
+
+    def assert_clean_failure(self, proc: subprocess.CompletedProcess) -> None:
+        assert proc.returncode != 0
+        assert "Traceback" not in proc.stderr
+        assert "Traceback" not in proc.stdout
+
+    def test_negative_n(self):
+        proc = run_cli("cc", "--n", "-5", "--machine", "4x2")
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+        assert proc.stderr.strip().startswith("error:")
+        assert len(proc.stderr.strip().splitlines()) == 1
+
+    def test_bad_machine(self):
+        proc = run_cli("cc", "--n", "1000", "--machine", "banana")
+        self.assert_clean_failure(proc)
+
+    def test_bad_impl(self):
+        proc = run_cli("cc", "--impl", "magic")
+        self.assert_clean_failure(proc)
+
+    def test_bad_opts_flag(self):
+        proc = run_cli("cc", "--n", "1000", "--machine", "4x2", "--opts", "warp")
+        self.assert_clean_failure(proc)
+
+    def test_fault_loss_out_of_range(self):
+        proc = run_cli("cc", "--n", "1000", "--machine", "4x2", "--fault-loss", "1.5")
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+        assert proc.stderr.strip().startswith("error:")
+
+    def test_fault_flags_on_bfs_subprocess(self):
+        proc = run_cli("bfs", "--n", "500", "--machine", "2x2", "--fault-loss", "1e-3")
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+
+    def test_missing_command(self):
+        proc = run_cli()
+        self.assert_clean_failure(proc)
+
+    def test_success_smoke(self):
+        proc = run_cli("cc", "--n", "1000", "--machine", "2x2")
+        assert proc.returncode == 0
+        assert "components:" in proc.stdout
 
 
 class TestBfsCommand:

@@ -9,26 +9,50 @@ from repro.errors import (
     ConfigError,
     ConvergenceError,
     DistributionError,
+    FaultError,
     GraphError,
     ReproError,
+    ThreadCrash,
     VerificationError,
 )
 
+ALL_ERRORS = [
+    ConfigError, DistributionError, CollectiveError, GraphError,
+    ConvergenceError, VerificationError, FaultError, ThreadCrash,
+]
+
 
 class TestErrorHierarchy:
-    @pytest.mark.parametrize(
-        "exc",
-        [ConfigError, DistributionError, CollectiveError, GraphError,
-         ConvergenceError, VerificationError],
-    )
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_raisable_and_catchable_at_base(self, exc):
+        instance = (
+            ThreadCrash(thread=1, at_time=0.5, recovery=1e-3)
+            if exc is ThreadCrash
+            else exc("boom")
+        )
+        with pytest.raises(ReproError):
+            raise instance
 
     def test_config_is_value_error(self):
         assert issubclass(ConfigError, ValueError)
 
     def test_verification_is_assertion(self):
         assert issubclass(VerificationError, AssertionError)
+
+    def test_fault_is_runtime_error(self):
+        assert issubclass(FaultError, RuntimeError)
+        assert issubclass(ThreadCrash, FaultError)
+
+    def test_thread_crash_carries_context(self):
+        crash = ThreadCrash(thread=3, at_time=2e-3, recovery=1e-3)
+        assert crash.thread == 3
+        assert crash.at_time == 2e-3
+        assert crash.recovery == 1e-3
+        assert "thread 3" in str(crash)
 
     def test_catchable_at_base(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,334 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Covers the declarative plan, the deterministic injector, retry-policy
+arithmetic, the zero-overhead default path, end-to-end correctness of
+CC/MST under every fault class, and crash-and-recover replay.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ConfigError,
+    CrashEvent,
+    FaultError,
+    FaultPlan,
+    NicDegradation,
+    PGASRuntime,
+    RetryPolicy,
+    ThreadCrash,
+    connected_components,
+    hps_cluster,
+    minimum_spanning_forest,
+    random_graph,
+    with_random_weights,
+)
+from repro.faults import FaultInjector, RoundCheckpointer
+
+MACHINE = hps_cluster(4, 2)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return random_graph(2_000, 8_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def gw(g):
+    return with_random_weights(g, seed=4)
+
+
+class TestPlanValidation:
+    def test_loss_must_be_probability(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(loss=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(loss=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(link_loss={0: 2.0})
+
+    def test_straggler_factor_must_be_at_least_one(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(stragglers={0: 0.5})
+
+    def test_degradation_window_ordering(self):
+        with pytest.raises(ConfigError):
+            NicDegradation(node=0, start=2.0, end=1.0)
+
+    def test_crash_times_non_negative(self):
+        with pytest.raises(ConfigError):
+            CrashEvent(thread=0, at_time=-1.0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_any_faults(self):
+        assert not FaultPlan.none().any_faults
+        assert not FaultPlan(stragglers={0: 1.0}).any_faults
+        assert FaultPlan(loss=1e-3).any_faults
+        assert FaultPlan(stragglers={0: 2.0}).any_faults
+        assert FaultPlan(crashes=(CrashEvent(0, 1.0),)).any_faults
+
+    def test_from_cli_returns_none_when_unused(self):
+        assert FaultPlan.from_cli(loss=0.0, stragglers=0, seed=0, total_threads=8) is None
+
+    def test_from_cli_straggler_choice_is_seeded(self):
+        a = FaultPlan.from_cli(loss=0.0, stragglers=2, seed=5, total_threads=8)
+        b = FaultPlan.from_cli(loss=0.0, stragglers=2, seed=5, total_threads=8)
+        assert a.stragglers == b.stragglers
+
+    def test_from_cli_rejects_too_many_stragglers(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_cli(loss=0.0, stragglers=9, seed=0, total_threads=8)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(backoff_base=1e-4, backoff_factor=2.0, backoff_cap=5e-3)
+        values = [policy.backoff(i) for i in range(1, 12)]
+        assert values == sorted(values)
+        assert values[-1] == policy.backoff_cap
+
+    def test_penalty_matches_explicit_sum(self):
+        policy = RetryPolicy()
+        for r in (0, 1, 2, 5, 9, 40):
+            explicit = sum(policy.timeout + policy.backoff(i) for i in range(1, r + 1))
+            closed = float(policy.penalty_seconds(np.array([r], dtype=np.int64))[0])
+            assert closed == pytest.approx(explicit, rel=1e-12)
+
+    def test_penalty_vectorized(self):
+        policy = RetryPolicy()
+        out = policy.penalty_seconds(np.array([0, 1, 3]))
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert np.all(np.diff(out) > 0)
+
+
+class TestInjector:
+    def test_sample_retries_deterministic(self):
+        counts = np.array([100.0, 0.0, 50.0, 100.0] * 2)
+        draws = []
+        for _ in range(2):
+            inj = FaultInjector(FaultPlan.lossy(0.05, seed=11), MACHINE)
+            draws.append(inj.sample_retries(counts))
+        np.testing.assert_array_equal(draws[0][0], draws[1][0])
+        assert draws[0][1] == draws[1][1]
+
+    def test_zero_count_threads_draw_nothing(self):
+        inj = FaultInjector(FaultPlan.lossy(0.5, seed=1), MACHINE)
+        retries, dead = inj.sample_retries(np.zeros(MACHINE.total_threads))
+        assert dead == 0
+        assert not retries.any()
+
+    def test_link_loss_targets_one_node(self):
+        plan = FaultPlan(seed=2, link_loss={1: 0.3})
+        inj = FaultInjector(plan, MACHINE)
+        assert inj.node_loss[1] == 0.3
+        assert inj.node_loss[0] == 0.0
+        assert np.all(inj.node_loss[2:] == 0.0)
+        # Threads map to their node's uplink loss when sampling.
+        t = MACHINE.threads_per_node
+        per_thread = inj.node_loss[inj.node_of]
+        assert np.all(per_thread[t:2 * t] == 0.3)
+        assert np.all(per_thread[:t] == 0.0)
+
+    def test_bad_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(link_loss={99: 0.1}), MACHINE)
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(stragglers={99: 2.0}), MACHINE)
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(crashes=(CrashEvent(99, 1.0),)), MACHINE)
+
+    def test_poll_crash_fires_once(self):
+        plan = FaultPlan(crashes=(CrashEvent(thread=2, at_time=1.0),))
+        inj = FaultInjector(plan, MACHINE)
+        times = np.zeros(MACHINE.total_threads)
+        assert inj.poll_crash(times) is None
+        times[2] = 1.5
+        event = inj.poll_crash(times)
+        assert event is not None and event.thread == 2
+        assert inj.poll_crash(times) is None  # consumed
+
+    def test_comm_factor_inside_window(self):
+        window = NicDegradation(node=0, start=1.0, end=2.0, factor=4.0)
+        inj = FaultInjector(FaultPlan(nic_degradations=(window,)), MACHINE)
+        t = MACHINE.threads_per_node
+        times = np.full(MACHINE.total_threads, 1.5)
+        factor = inj.comm_factor(times)
+        assert np.all(factor[:t] == 4.0)
+        assert np.all(factor[t:] == 1.0)
+        # Outside the window nothing applies, signalled as None so the
+        # runtime can skip the multiply.
+        assert inj.comm_factor(np.full(MACHINE.total_threads, 3.0)) is None
+
+
+class TestZeroOverhead:
+    def test_noop_plan_collapses_to_none(self):
+        assert PGASRuntime(MACHINE, faults=FaultPlan.none()).faults is None
+        assert PGASRuntime(MACHINE, faults=None).faults is None
+        assert PGASRuntime(MACHINE, faults=FaultPlan.lossy(1e-3)).faults is not None
+
+    def test_modeled_time_bit_identical_without_plan(self, g):
+        base = connected_components(g, MACHINE, impl="collective")
+        with_none = connected_components(g, MACHINE, impl="collective", faults=FaultPlan.none())
+        assert base.info.sim_time == with_none.info.sim_time
+        assert base.info.trace.counters.as_dict() == with_none.info.trace.counters.as_dict()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("impl", ["collective", "naive"])
+    def test_same_seed_same_report(self, g, impl):
+        plan = FaultPlan.lossy(1e-3, seed=7)
+        a = connected_components(g, MACHINE, impl=impl, faults=plan)
+        b = connected_components(g, MACHINE, impl=impl, faults=plan)
+        assert a.info.sim_time == b.info.sim_time
+        assert a.info.trace.counters.as_dict() == b.info.trace.counters.as_dict()
+        assert a.info.trace.category_seconds == b.info.trace.category_seconds
+
+    def test_different_seed_different_retries(self, g):
+        a = connected_components(g, MACHINE, impl="naive", faults=FaultPlan.lossy(1e-3, seed=1))
+        b = connected_components(g, MACHINE, impl="naive", faults=FaultPlan.lossy(1e-3, seed=2))
+        # Not guaranteed in principle, but overwhelmingly likely with
+        # thousands of messages; a collision would signal a seeding bug.
+        assert (
+            a.info.trace.counters.retries != b.info.trace.counters.retries
+            or a.info.sim_time != b.info.sim_time
+        )
+
+
+class TestCorrectnessUnderFaults:
+    @pytest.mark.parametrize("impl", ["collective", "naive"])
+    def test_cc_verifies_under_loss(self, g, impl):
+        plan = FaultPlan.lossy(1e-3, seed=7)
+        res = connected_components(g, MACHINE, impl=impl, faults=plan, validate=True)
+        base = connected_components(g, MACHINE, impl=impl)
+        np.testing.assert_array_equal(
+            repro.canonical_labels(res.labels), repro.canonical_labels(base.labels)
+        )
+        assert res.info.sim_time > base.info.sim_time
+        assert res.info.trace.counters.retries > 0
+
+    @pytest.mark.parametrize("impl", ["collective", "naive"])
+    def test_mst_verifies_under_loss(self, gw, impl):
+        plan = FaultPlan.lossy(1e-3, seed=7)
+        res = minimum_spanning_forest(gw, MACHINE, impl=impl, faults=plan, validate=True)
+        base = minimum_spanning_forest(gw, MACHINE, impl=impl)
+        assert res.total_weight == base.total_weight
+        np.testing.assert_array_equal(res.edge_ids, base.edge_ids)
+
+    def test_stragglers_slow_the_run(self, g):
+        plan = FaultPlan(seed=0, stragglers={3: 4.0})
+        slow = connected_components(g, MACHINE, impl="collective", faults=plan, validate=True)
+        base = connected_components(g, MACHINE, impl="collective")
+        assert slow.info.sim_time > base.info.sim_time
+
+    def test_nic_degradation_slows_the_run(self, g):
+        base = connected_components(g, MACHINE, impl="collective")
+        window = NicDegradation(node=0, start=0.0, end=base.info.sim_time, factor=8.0)
+        plan = FaultPlan(seed=0, nic_degradations=(window,))
+        res = connected_components(g, MACHINE, impl="collective", faults=plan, validate=True)
+        assert res.info.sim_time > base.info.sim_time
+
+    def test_exhausted_retries_raise_fault_error(self, g):
+        plan = FaultPlan(seed=0, loss=0.9, retry=RetryPolicy(max_attempts=2))
+        with pytest.raises(FaultError):
+            connected_components(g, MACHINE, impl="collective", faults=plan)
+
+    def test_unsupported_impls_reject_plans(self, g, gw):
+        plan = FaultPlan.lossy(1e-3)
+        with pytest.raises(ConfigError):
+            connected_components(g, MACHINE, impl="sequential", faults=plan)
+        with pytest.raises(ConfigError):
+            minimum_spanning_forest(gw, MACHINE, impl="kruskal", faults=plan)
+
+
+class TestCrashRecovery:
+    def test_cc_replays_lost_round(self, g):
+        base = connected_components(g, MACHINE, impl="collective")
+        plan = FaultPlan(
+            seed=1, crashes=(CrashEvent(thread=3, at_time=base.info.sim_time * 0.3),)
+        )
+        res = connected_components(g, MACHINE, impl="collective", faults=plan, validate=True)
+        c = res.info.trace.counters
+        assert c.crashes == 1
+        assert c.checkpoint_restores == 1
+        assert res.info.sim_time > base.info.sim_time
+        np.testing.assert_array_equal(
+            repro.canonical_labels(res.labels), repro.canonical_labels(base.labels)
+        )
+
+    def test_mst_replays_lost_round(self, gw):
+        base = minimum_spanning_forest(gw, MACHINE, impl="collective")
+        plan = FaultPlan(
+            seed=2,
+            loss=1e-3,
+            crashes=(CrashEvent(thread=1, at_time=base.info.sim_time * 0.4),),
+        )
+        res = minimum_spanning_forest(gw, MACHINE, impl="collective", faults=plan, validate=True)
+        c = res.info.trace.counters
+        assert c.crashes == 1
+        assert c.checkpoint_restores >= 1
+        assert res.total_weight == base.total_weight
+        np.testing.assert_array_equal(res.edge_ids, base.edge_ids)
+
+    def test_multiple_crashes(self, g):
+        base = connected_components(g, MACHINE, impl="collective")
+        t = base.info.sim_time
+        plan = FaultPlan(
+            seed=3,
+            crashes=(
+                CrashEvent(thread=0, at_time=t * 0.2),
+                CrashEvent(thread=5, at_time=t * 0.6),
+            ),
+        )
+        res = connected_components(g, MACHINE, impl="collective", faults=plan, validate=True)
+        assert res.info.trace.counters.crashes == 2
+        assert res.info.trace.counters.checkpoint_restores == 2
+
+    def test_crash_recovery_deterministic(self, g):
+        plan = FaultPlan(seed=1, loss=1e-3, crashes=(CrashEvent(thread=3, at_time=1e-3),))
+        a = connected_components(g, MACHINE, impl="collective", faults=plan)
+        b = connected_components(g, MACHINE, impl="collective", faults=plan)
+        assert a.info.sim_time == b.info.sim_time
+        assert a.info.trace.counters.as_dict() == b.info.trace.counters.as_dict()
+
+    def test_thread_crash_carries_context(self):
+        crash = ThreadCrash(thread=4, at_time=1e-3, recovery=2e-3)
+        assert crash.thread == 4
+        assert isinstance(crash, FaultError)
+
+    def test_restore_without_save_raises(self):
+        rt = PGASRuntime(MACHINE, faults=FaultPlan(crashes=(CrashEvent(0, 1.0),)))
+        with pytest.raises(FaultError):
+            RoundCheckpointer(rt).restore()
+
+    def test_checkpoint_charges_fault_category(self, g):
+        plan = FaultPlan(seed=1, crashes=(CrashEvent(thread=3, at_time=1e-6),))
+        res = connected_components(g, MACHINE, impl="collective", faults=plan)
+        assert res.info.trace.category_seconds["Fault"] > 0
+
+
+class TestTraceSurface:
+    def test_retry_category_charged_under_loss(self, g):
+        plan = FaultPlan.lossy(1e-2, seed=0)
+        res = connected_components(g, MACHINE, impl="collective", faults=plan)
+        assert res.info.trace.category_seconds["Retry"] > 0
+        assert res.info.breakdown()["Retry"] > 0
+
+    def test_counters_render_fault_line(self, g):
+        plan = FaultPlan.lossy(1e-2, seed=0)
+        res = connected_components(g, MACHINE, impl="collective", faults=plan)
+        lines = list(res.info.trace.summary_lines(MACHINE.total_threads))
+        assert any("retries=" in line for line in lines)
+
+    def test_profiler_attributes_retries_to_phases(self, g):
+        plan = FaultPlan.lossy(1e-2, seed=0)
+        with repro.profiled() as session:
+            connected_components(g, MACHINE, impl="collective", faults=plan)
+        assert sum(r.retries for r in session.records) > 0
+        assert "retries" in repro.render_phases(session.records)

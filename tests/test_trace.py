@@ -7,7 +7,10 @@ from repro.runtime import Category, Counters, Trace
 
 class TestCategory:
     def test_the_six_fig5_categories(self):
-        assert Category.ALL == ("Comm", "Sort", "Copy", "Irregular", "Setup", "Work")
+        assert Category.FIG5 == ("Comm", "Sort", "Copy", "Irregular", "Setup", "Work")
+
+    def test_fault_categories_extend_fig5(self):
+        assert Category.ALL == Category.FIG5 + ("Retry", "Fault")
 
 
 class TestCounters:
