@@ -4,6 +4,12 @@ Scale: ``REPRO_BENCH_SCALE`` (default 0.5) multiplies the already
 ~1000x-shrunk default inputs; machines are recalibrated automatically.
 Each benchmark prints its figure table (run with ``-s`` to see it live)
 and writes it under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Sanitizer: ``REPRO_BENCH_ANALYZE=1`` runs every figure under the epoch
+race detector and prints the report (report-only — the naive-UPC figures
+race *by design*; that is the point of the comparison, so the bench
+never fails on it).  The detector is observation-only, so the printed
+modeled times are unchanged.
 """
 
 from __future__ import annotations
@@ -27,9 +33,19 @@ def figure_runner(benchmark, repro_scale):
     its table, and surface its headline metrics as extra_info."""
 
     def run(driver, **kwargs):
-        fig = benchmark.pedantic(
-            driver, kwargs={"scale": repro_scale, **kwargs}, rounds=1, iterations=1
-        )
+        if os.environ.get("REPRO_BENCH_ANALYZE"):
+            from repro.analysis import analyzed
+
+            with analyzed() as session:
+                fig = benchmark.pedantic(
+                    driver, kwargs={"scale": repro_scale, **kwargs}, rounds=1, iterations=1
+                )
+            print()
+            print("[REPRO_BENCH_ANALYZE] " + session.render().replace("\n", "\n  "))
+        else:
+            fig = benchmark.pedantic(
+                driver, kwargs={"scale": repro_scale, **kwargs}, rounds=1, iterations=1
+            )
         text = fig.render()
         print()
         print(text)

@@ -30,9 +30,11 @@ Packages
 ``repro.cc``           connected-components implementations
 ``repro.mst``          minimum-spanning-forest implementations
 ``repro.core``         high-level API, optimization flags, analysis
+``repro.analysis``     sanitizer suite: epoch race detector + static linter
 ``repro.bench``        experiment harness used by ``benchmarks/``
 """
 
+from .analysis import analyzed, run_lint
 from .core import (
     CC_IMPLS,
     DEFAULT_BENCH_N,
@@ -113,6 +115,7 @@ __all__ = [
     "ThreadCrash",
     "VerificationError",
     "__version__",
+    "analyzed",
     "canonical_labels",
     "cluster_for_input",
     "connected_components",
@@ -125,6 +128,7 @@ __all__ = [
     "profiled",
     "random_graph",
     "render_phases",
+    "run_lint",
     "save_edgelist",
     "sequential_for_input",
     "sequential_machine",

@@ -1,0 +1,41 @@
+"""PGAS sanitizer suite: epoch race detector + cost-model linter.
+
+Two cooperating analyses keep the simulator honest:
+
+* :mod:`repro.analysis.race` — a dynamic, TSan-style epoch race detector
+  (opt-in via ``PGASRuntime(analyze=True)`` or the :func:`analyzed`
+  context manager) that reports intra-epoch access conflicts, remote
+  writes that bypassed the collectives, and barrier divergence.
+* :mod:`repro.analysis.lint` — a static AST linter (``python -m repro
+  analyze``) that flags uncharged shared accesses and nondeterminism
+  sources in modeled code paths.
+
+See ``docs/static-analysis.md`` for the rule catalog and waiver syntax.
+"""
+
+from .lint import LINT_CATALOG, Finding, lint_file, run_lint
+from .race import (
+    RACE_RULES,
+    RULE_CATALOG,
+    AnalysisSession,
+    EpochRaceDetector,
+    RaceReport,
+    analyzed,
+    current_analysis,
+    render_reports,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "EpochRaceDetector",
+    "Finding",
+    "LINT_CATALOG",
+    "RACE_RULES",
+    "RULE_CATALOG",
+    "RaceReport",
+    "analyzed",
+    "current_analysis",
+    "lint_file",
+    "render_reports",
+    "run_lint",
+]

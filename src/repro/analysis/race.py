@@ -1,0 +1,547 @@
+"""Dynamic epoch race detector for the simulated PGAS runtime.
+
+TSan-style, opt-in sanitizer: the runtime (``PGASRuntime(analyze=True)``
+or any runtime built inside an :func:`analyzed` block) reports every
+shared-array access to an :class:`EpochRaceDetector`, keyed by *barrier
+epoch* — the interval between two successive ``barrier()`` /
+``allreduce_flag()`` synchronizations.  When a barrier closes an epoch,
+the detector analyzes the epoch's access sets and reports:
+
+* **RA01** — write-write conflicts: two simulated threads wrote
+  overlapping locations in one epoch outside a combining (CRCW min)
+  operation;
+* **RA02** — read-write conflicts: one thread read a location another
+  thread wrote in the same epoch, with no barrier ordering them;
+* **RA03** — remote-affinity writes that bypassed the collectives: a
+  fine-grained (per-element) write whose target lives on another node —
+  the naive UPC discipline the paper spends Section IV replacing;
+* **RA04** — barrier-count divergence between simulated threads (SPMD
+  kernels that synchronize conditionally).
+
+Accesses performed *through* the GetD/SetD/SetDMin collectives are
+*coordinated*: the collective's internal protocol (count exchange,
+owner-side serve, closing barrier) orders them, so they are exempt from
+conflict analysis and only tracked for the report's phase statistics.
+Owner-local block updates (the ``owner_block_*`` runtime helpers) are
+attributed to the owning thread; since an index has exactly one owner,
+owner-attributed accesses can only conflict with accesses issued *by a
+different thread* — i.e. fine-grained remote traffic.
+
+The detector is purely observational: it never charges modeled time and
+never consumes randomness, so enabling it leaves a run's modeled
+milliseconds bit-identical (asserted by the test suite).  On a
+:class:`~repro.errors.ThreadCrash` the runtime's recovery replays the
+lost round in *fresh* epochs, so crash-and-recover runs produce no
+phantom conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RACE_RULES",
+    "RULE_CATALOG",
+    "RaceReport",
+    "EpochRaceDetector",
+    "AnalysisSession",
+    "analyzed",
+    "current_analysis",
+    "render_reports",
+]
+
+#: Rules that constitute an actual race (RA03 is a discipline warning:
+#: fine-grained remote writes are charged honestly, just slow and
+#: unsynchronized by design in the naive translation).
+RACE_RULES = ("RA01", "RA02", "RA04")
+
+RULE_CATALOG = {
+    "RA01": "write-write conflict on overlapping indices within one barrier epoch",
+    "RA02": "read-write conflict on overlapping indices within one barrier epoch",
+    "RA03": "remote-affinity write issued outside a collective",
+    "RA04": "barrier-count divergence between simulated threads",
+}
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One sanitizer finding, trace-linked by phase and epoch."""
+
+    rule: str
+    array: str
+    epoch: int
+    phases: Tuple[str, ...]
+    threads: Tuple[int, ...]
+    index_lo: int
+    index_hi: int
+    locations: int
+    message: str
+
+    @property
+    def is_race(self) -> bool:
+        return self.rule in RACE_RULES
+
+    def render(self) -> str:
+        threads = ",".join(str(t) for t in self.threads[:8])
+        if len(self.threads) > 8:
+            threads += ",…"
+        phases = " vs ".join(self.phases[:4]) or "-"
+        return (
+            f"{self.rule} array={self.array!r} epoch={self.epoch} "
+            f"threads={{{threads}}} indices=[{self.index_lo}..{self.index_hi}] "
+            f"({self.locations} location(s)) phase {phases}: {self.message}"
+        )
+
+
+class _ArrayLog:
+    """Uncoordinated access sets for one shared array in one epoch."""
+
+    __slots__ = (
+        "arr",
+        "batches",
+        "block_read",
+        "block_write",
+        "block_phases",
+        "remote_writes",
+        "coll_counts",
+    )
+
+    def __init__(self, arr, s: int) -> None:
+        self.arr = arr
+        # Each batch: (indices, threads, is_write, combining, phase).
+        self.batches: List[Tuple[np.ndarray, np.ndarray, bool, bool, str]] = []
+        self.block_read = np.zeros(s, dtype=bool)
+        self.block_write = np.zeros(s, dtype=bool)
+        self.block_phases: set[str] = set()
+        # phase -> [count, lo, hi] of remote-affinity uncoordinated writes.
+        self.remote_writes: Dict[str, List[int]] = {}
+        self.coll_counts: Dict[str, int] = {}
+
+
+class EpochRaceDetector:
+    """Per-runtime access recorder + per-epoch conflict analysis.
+
+    ``max_index_events`` bounds how many individual index events one
+    epoch may retain (asynchronous solvers never barrier, so a whole run
+    can be one epoch); past the cap the detector keeps aggregate RA03
+    accounting but stops storing indices and notes the truncation.
+    """
+
+    def __init__(self, max_index_events: int = 4_000_000) -> None:
+        self.machine = None
+        self.s = 0
+        self.epoch = 0
+        self.reports: List[RaceReport] = []
+        self.max_index_events = int(max_index_events)
+        self.truncated_epochs: List[int] = []
+        self._logs: Dict[str, _ArrayLog] = {}
+        self._epoch_events = 0
+        self._arrays = 0
+        self._pending_barriers: Optional[np.ndarray] = None
+        self._finalized = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Bind the detector to a machine shape (idempotent for equal
+        shapes; a session reuses one detector per runtime)."""
+        if self.machine is None:
+            self.machine = machine
+            self.s = machine.total_threads
+            self._pending_barriers = np.zeros(self.s, dtype=np.int64)
+
+    def name_for(self, arr) -> str:
+        name = getattr(arr, "name", None)
+        if name:
+            return str(name)
+        self._arrays += 1
+        try:
+            arr.name = f"shared{self._arrays}"
+            return arr.name
+        except (AttributeError, TypeError):  # pragma: no cover - frozen arrays
+            return f"shared@{id(arr):x}"
+
+    def register_array(self, arr, name: str | None = None) -> None:
+        if name is not None and getattr(arr, "name", None) is None:
+            arr.name = name
+        self.name_for(arr)
+
+    def _log(self, arr) -> _ArrayLog:
+        key = self.name_for(arr)
+        log = self._logs.get(key)
+        if log is None:
+            log = _ArrayLog(arr, self.s or arr.machine.total_threads)
+            self._logs[key] = log
+        return log
+
+    # -- recording ------------------------------------------------------------
+
+    def record_fine(
+        self,
+        arr,
+        kind: str,
+        indices: np.ndarray,
+        threads: np.ndarray,
+        *,
+        combining: bool = False,
+        phase: str = "fine-grained",
+    ) -> None:
+        """An uncoordinated per-element access batch attributed to the
+        issuing threads (``kind`` is ``'r'`` or ``'w'``)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        thr = np.asarray(threads, dtype=np.int64)
+        if idx.size == 0:
+            return
+        log = self._log(arr)
+        if kind == "w":
+            t = arr.machine.threads_per_node
+            owner_nodes = arr.owner_node(idx)
+            remote = owner_nodes != (thr // t)
+            nremote = int(np.count_nonzero(remote))
+            if nremote:
+                entry = log.remote_writes.setdefault(phase, [0, int(idx.max()), int(idx.min())])
+                entry[0] += nremote
+                ridx = idx[remote]
+                entry[1] = min(entry[1], int(ridx.min()))
+                entry[2] = max(entry[2], int(ridx.max()))
+        if self._epoch_events + idx.size > self.max_index_events:
+            if not self.truncated_epochs or self.truncated_epochs[-1] != self.epoch:
+                self.truncated_epochs.append(self.epoch)
+            return
+        self._epoch_events += idx.size
+        log.batches.append((idx, thr, kind == "w", bool(combining), phase))
+
+    def record_owner_write(self, arr, indices: np.ndarray, *, phase: str = "owner-write") -> None:
+        """A write applied by each index's owning thread (owner-local by
+        construction; conflicts only with *other* threads' traffic)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        self.record_fine(arr, "w", idx, arr.owner_thread(idx), phase=phase)
+
+    def record_block(self, arr, kind: str, *, phase: str = "owner-block") -> None:
+        """Every thread touches its own affinity range (the owner-local
+        block helpers); ranges are disjoint across threads."""
+        log = self._log(arr)
+        target = log.block_write if kind == "w" else log.block_read
+        target[:] = True
+        log.block_phases.add(phase)
+
+    def record_collective(self, arr, kind: str, count: int, *, phase: str = "collective") -> None:
+        """A coordinated access through GetD/SetD/SetDMin — ordered by the
+        collective's protocol, tracked only for phase statistics."""
+        log = self._log(arr)
+        log.coll_counts[phase] = log.coll_counts.get(phase, 0) + int(count)
+
+    def record_thread_barrier(self, thread: int) -> None:
+        """An SPMD kernel's *per-thread* barrier arrival.  Use from custom
+        kernels whose threads synchronize conditionally; a global
+        ``rt.barrier()`` checks the pending arrivals diverge-free."""
+        if self._pending_barriers is None:
+            self._pending_barriers = np.zeros(max(thread + 1, 1), dtype=np.int64)
+        self._pending_barriers[thread] += 1
+
+    # -- epoch lifecycle ------------------------------------------------------
+
+    def on_barrier(self) -> None:
+        """Close the current epoch: run conflict analysis and start the
+        next epoch.  Called by the runtime on every global barrier."""
+        self._check_barrier_divergence()
+        self._analyze_epoch()
+        self.epoch += 1
+
+    def abort_epoch(self) -> None:
+        """Discard the current epoch without analysis (a crashed round is
+        replayed from its checkpoint; its partial accesses are void)."""
+        self._logs.clear()
+        self._epoch_events = 0
+        self.epoch += 1
+
+    def finalize(self) -> None:
+        """Analyze the trailing open epoch (asynchronous solvers never
+        barrier) and flush the divergence check.  Idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self._check_barrier_divergence()
+        self._analyze_epoch()
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def races(self) -> List[RaceReport]:
+        return [r for r in self.reports if r.is_race]
+
+    @property
+    def has_races(self) -> bool:
+        return any(r.is_race for r in self.reports)
+
+    # -- analysis --------------------------------------------------------------
+
+    def _check_barrier_divergence(self) -> None:
+        pending = self._pending_barriers
+        if pending is None or pending.size == 0:
+            return
+        if pending.max(initial=0) != pending.min(initial=0):
+            lo, hi = int(pending.min()), int(pending.max())
+            laggards = tuple(int(t) for t in np.flatnonzero(pending == lo))
+            self.reports.append(
+                RaceReport(
+                    rule="RA04",
+                    array="-",
+                    epoch=self.epoch,
+                    phases=("barrier",),
+                    threads=laggards,
+                    index_lo=lo,
+                    index_hi=hi,
+                    locations=len(laggards),
+                    message=(
+                        f"threads reached between {lo} and {hi} barriers inside one "
+                        f"epoch; thread(s) {laggards[:8]} are behind"
+                    ),
+                )
+            )
+        pending[:] = 0
+
+    def _analyze_epoch(self) -> None:
+        for name, log in self._logs.items():
+            self._emit_remote_writes(name, log)
+            self._analyze_array(name, log)
+        self._logs.clear()
+        self._epoch_events = 0
+
+    def _emit_remote_writes(self, name: str, log: _ArrayLog) -> None:
+        for phase, (count, lo, hi) in sorted(log.remote_writes.items()):
+            self.reports.append(
+                RaceReport(
+                    rule="RA03",
+                    array=name,
+                    epoch=self.epoch,
+                    phases=(phase,),
+                    threads=(),
+                    index_lo=lo,
+                    index_hi=hi,
+                    locations=count,
+                    message=(
+                        f"{count} remote-affinity write(s) bypassed the collectives "
+                        "(naive fine-grained discipline)"
+                    ),
+                )
+            )
+
+    def _analyze_array(self, name: str, log: _ArrayLog) -> None:
+        if not log.batches:
+            return
+        idx = np.concatenate([b[0] for b in log.batches])
+        thr = np.concatenate([b[1] for b in log.batches])
+        is_w = np.concatenate(
+            [np.full(b[0].size, b[2], dtype=bool) for b in log.batches]
+        )
+        comb = np.concatenate(
+            [np.full(b[0].size, b[3], dtype=bool) for b in log.batches]
+        )
+        phases = [b[4] for b in log.batches]
+        phase_id = np.concatenate(
+            [np.full(b[0].size, i, dtype=np.int64) for i, b in enumerate(log.batches)]
+        )
+
+        self._find_fine_conflicts(name, log, idx, thr, is_w, comb, phases, phase_id)
+        self._find_block_conflicts(name, log, idx, thr, is_w, phases, phase_id)
+
+    def _emit_conflict(
+        self,
+        rule: str,
+        name: str,
+        conflict_idx: np.ndarray,
+        threads: np.ndarray,
+        phase_names: List[str],
+        message: str,
+    ) -> None:
+        self.reports.append(
+            RaceReport(
+                rule=rule,
+                array=name,
+                epoch=self.epoch,
+                phases=tuple(dict.fromkeys(phase_names))[:6],
+                threads=tuple(int(t) for t in np.unique(threads)[:16]),
+                index_lo=int(conflict_idx.min()),
+                index_hi=int(conflict_idx.max()),
+                locations=int(conflict_idx.size),
+                message=message,
+            )
+        )
+
+    def _find_fine_conflicts(
+        self, name, log, idx, thr, is_w, comb, phases, phase_id
+    ) -> None:
+        # -- RA01: write-write on one index from >=2 threads, not all
+        # combining (concurrent CRCW-min writes are a legal adjudication).
+        w = is_w
+        if np.count_nonzero(w) > 1:
+            widx, wthr, wcomb, wph = idx[w], thr[w], comb[w], phase_id[w]
+            order = np.argsort(widx, kind="stable")
+            widx, wthr, wcomb, wph = widx[order], wthr[order], wcomb[order], wph[order]
+            starts = np.flatnonzero(np.r_[True, widx[1:] != widx[:-1]])
+            tmin = np.minimum.reduceat(wthr, starts)
+            tmax = np.maximum.reduceat(wthr, starts)
+            allcomb = np.minimum.reduceat(wcomb.astype(np.int8), starts) == 1
+            bad = (tmax != tmin) & ~allcomb
+            if bad.any():
+                ends = np.r_[starts[1:], widx.size]
+                members = np.zeros(widx.size, dtype=bool)
+                for g in np.flatnonzero(bad):
+                    members[starts[g] : ends[g]] = True
+                self._emit_conflict(
+                    "RA01",
+                    name,
+                    widx[starts[bad]],
+                    wthr[members],
+                    [phases[p] for p in np.unique(wph[members])],
+                    "non-combining writes from distinct threads hit the same location",
+                )
+
+        # -- RA02: a location written by one thread and read by another.
+        if w.any() and (~w).any():
+            widx, wthr = idx[w], thr[w]
+            ridx, rthr = idx[~w], thr[~w]
+            worder = np.argsort(widx, kind="stable")
+            widx_s, wthr_s = widx[worder], wthr[worder]
+            uniq_w, w_starts = np.unique(widx_s, return_index=True)
+            wmin = np.minimum.reduceat(wthr_s, w_starts)
+            wmax = np.maximum.reduceat(wthr_s, w_starts)
+            pos = np.searchsorted(uniq_w, ridx)
+            pos = np.clip(pos, 0, uniq_w.size - 1)
+            shared = uniq_w[pos] == ridx
+            # Conflict unless the only writer IS the reader.
+            conflict = shared & ((wmin[pos] != rthr) | (wmax[pos] != rthr))
+            if conflict.any():
+                c_idx = np.unique(ridx[conflict])
+                involved = np.r_[rthr[conflict], wthr_s[np.isin(widx_s, c_idx)]]
+                ph = [phases[p] for p in np.unique(phase_id[~w][conflict])]
+                ph += [phases[p] for p in np.unique(phase_id[w][np.isin(widx, c_idx)])]
+                self._emit_conflict(
+                    "RA02",
+                    name,
+                    c_idx,
+                    involved,
+                    ph,
+                    "read and write of the same location in one epoch with no "
+                    "barrier between them",
+                )
+
+    def _find_block_conflicts(self, name, log, idx, thr, is_w, phases, phase_id) -> None:
+        """Owner-block accesses (thread i touches its own range) against
+        fine events issued by *other* threads."""
+        if not (log.block_read.any() or log.block_write.any()) or idx.size == 0:
+            return
+        owner = log.arr.owner_thread(idx)
+        foreign = owner != thr  # fine event issued by a non-owner thread
+        if not foreign.any():
+            return
+        # fine write vs block read/write; fine read vs block write.
+        blk_r = log.block_read[owner]
+        blk_w = log.block_write[owner]
+        ww = foreign & is_w & blk_w
+        rw = foreign & ((is_w & blk_r) | (~is_w & blk_w))
+        block_ph = sorted(log.block_phases)
+        if ww.any():
+            self._emit_conflict(
+                "RA01",
+                name,
+                np.unique(idx[ww]),
+                np.r_[thr[ww], owner[ww]],
+                [phases[p] for p in np.unique(phase_id[ww])] + block_ph,
+                "fine-grained write overlaps the owner's block update in the "
+                "same epoch",
+            )
+        if rw.any():
+            self._emit_conflict(
+                "RA02",
+                name,
+                np.unique(idx[rw]),
+                np.r_[thr[rw], owner[rw]],
+                [phases[p] for p in np.unique(phase_id[rw])] + block_ph,
+                "fine-grained access overlaps the owner's block update in the "
+                "same epoch",
+            )
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self) -> str:
+        return render_reports(self.reports, truncated=bool(self.truncated_epochs))
+
+
+def render_reports(reports, truncated: bool = False) -> str:
+    races = sum(1 for r in reports if r.is_race)
+    head = f"sanitizer: {len(reports)} report(s), {races} race(s)"
+    lines = [head] + ["  " + r.render() for r in reports]
+    if truncated:
+        lines.append("  note: index recording truncated in at least one epoch (cap hit)")
+    return "\n".join(lines)
+
+
+class AnalysisSession:
+    """Aggregates the detectors of every runtime created inside an
+    :func:`analyzed` block."""
+
+    def __init__(self) -> None:
+        self.detectors: List[EpochRaceDetector] = []
+
+    def add(self, detector: EpochRaceDetector) -> None:
+        self.detectors.append(detector)
+
+    def finalize(self) -> None:
+        for det in self.detectors:
+            det.finalize()
+
+    @property
+    def reports(self) -> List[RaceReport]:
+        out: List[RaceReport] = []
+        for det in self.detectors:
+            out.extend(det.reports)
+        return out
+
+    @property
+    def races(self) -> List[RaceReport]:
+        return [r for r in self.reports if r.is_race]
+
+    @property
+    def has_races(self) -> bool:
+        return any(r.is_race for r in self.reports)
+
+    def render(self) -> str:
+        truncated = any(det.truncated_epochs for det in self.detectors)
+        return render_reports(self.reports, truncated=truncated)
+
+
+_ACTIVE_SESSIONS: List[AnalysisSession] = []
+
+
+def current_analysis() -> "AnalysisSession | None":
+    """The innermost active :func:`analyzed` session, if any."""
+    return _ACTIVE_SESSIONS[-1] if _ACTIVE_SESSIONS else None
+
+
+class analyzed:
+    """Context manager that race-checks every solve run inside it::
+
+        with repro.analysis.analyzed() as session:
+            repro.connected_components(g, machine)
+        assert not session.has_races, session.render()
+
+    Any :class:`~repro.runtime.runtime.PGASRuntime` constructed while the
+    block is active records its shared accesses into the session; the
+    modeled times are unchanged (the detector only observes).
+    """
+
+    def __enter__(self) -> AnalysisSession:
+        self.session = AnalysisSession()
+        _ACTIVE_SESSIONS.append(self.session)
+        return self.session
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE_SESSIONS.remove(self.session)
+        self.session.finalize()

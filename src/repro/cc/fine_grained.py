@@ -130,8 +130,7 @@ def solve_cc_fine_grained(
             check_converged(guard, n, f"cc-{style} shortcut")
             counts = PartitionedArray(active.astype(np.int64), vert_offsets).segment_sums()
             # Read own label (contiguous) and the grandparent (irregular).
-            rt.local_stream(counts, Category.COPY)
-            grand_idx = PartitionedArray(d.data.copy(), vert_offsets)
+            grand_idx = PartitionedArray(rt.owner_block_read(d, counts=counts), vert_offsets)
             # Only active vertices issue the irregular grandparent read;
             # charge as if the inactive ones were skipped.
             sub = grand_idx.filter(active)
@@ -146,10 +145,11 @@ def solve_cc_fine_grained(
             moved = grand != d.data
             if not moved.any():
                 break
-            d.data[moved] = grand[moved]
-            rt.local_stream(
-                PartitionedArray(moved.astype(np.int64), vert_offsets).segment_sums(),
-                Category.COPY,
+            rt.owner_masked_write(
+                d,
+                moved,
+                grand[moved],
+                counts=PartitionedArray(moved.astype(np.int64), vert_offsets).segment_sums(),
             )
             active = moved
         if changed == 0:

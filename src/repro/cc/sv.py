@@ -43,7 +43,6 @@ from ..graph.edgelist import EdgeList
 from ..runtime.machine import MachineConfig, hps_cluster
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
-from ..runtime.trace import Category
 from .common import check_converged, graft_proposals
 
 __all__ = ["solve_cc_sv"]
@@ -78,8 +77,7 @@ def solve_cc_sv(
     hot = 0 if opts.offload else None
 
     def label_partition() -> PartitionedArray:
-        rt.local_stream(sizes_local, Category.COPY)
-        return PartitionedArray(d.data.copy(), vert_offsets)
+        return PartitionedArray(rt.owner_block_read(d, counts=sizes_local), vert_offsets)
 
     iteration = 0
     while True:
@@ -110,29 +108,25 @@ def solve_cc_sv(
         )
 
         # 2. Change flags, owner-local.
-        ch.data[:] = (d.data != before).astype(np.int64)
-        rt.local_stream(sizes_local, Category.COPY)
+        rt.owner_block_write(ch, (d.data != before).astype(np.int64), counts=sizes_local)
 
         # 3. Star detection (classic three-step check).
         idxp = label_partition()
         grand = getd(rt, d, idxp, opts, None, None, tprime, sort_method, hot_value=hot)
-        star.data[:] = 1
-        rt.local_stream(sizes_local, Category.COPY)
+        rt.owner_block_write(star, 1, counts=sizes_local)
         non_star = grand != d.data
-        star.data[non_star] = 0  # star[i] = false, owner-local
-        rt.local_ops(sizes_local)
+        # star[i] = false, owner-local
+        rt.owner_masked_write(star, non_star, 0, charge="ops", counts=sizes_local)
         # star[D[D[i]]] = false for the same i — remote scatter.
         gp = PartitionedArray(grand, vert_offsets).filter(non_star)
         setd(rt, star, gp, np.zeros(gp.total, dtype=np.int64), opts, None, None, tprime, sort_method)
         # star[i] = star[D[i]] — remote gather of the parent's flag.
         star_at_parent = getd(rt, star, idxp, opts, None, None, tprime, sort_method)
-        star.data[:] = star_at_parent
-        rt.local_stream(sizes_local, Category.COPY)
+        rt.owner_block_write(star, star_at_parent, counts=sizes_local)
 
         # 4. Stagnant stars: in a star whose root's label did not change.
         ch_at_root = getd(rt, ch, idxp, opts, None, None, tprime, sort_method)
-        stag.data[:] = star.data & (ch_at_root == 0)
-        rt.local_ops(sizes_local)
+        rt.owner_block_write(stag, star.data & (ch_at_root == 0), charge="ops", counts=sizes_local)
 
         # 5. Hook stagnant stars onto (larger-labeled) neighbours.
         #
@@ -168,8 +162,7 @@ def solve_cc_sv(
         idxp2 = label_partition()
         grand2 = getd(rt, d, idxp2, opts, None, None, tprime, sort_method, hot_value=None)
         moved = grand2 != d.data
-        d.data[:] = grand2
-        rt.local_stream(sizes_local, Category.COPY)
+        rt.owner_block_write(d, grand2, counts=sizes_local)
         changed_jump = int(np.count_nonzero(moved))
 
         total_changed = changed_graft + changed_hook + changed_jump

@@ -17,6 +17,7 @@ generated deterministically from ``--seed``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -82,6 +83,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the fault plan's RNG"
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the epoch race detector on this solve (exit 3 if races found)",
+    )
 
 
 def _parse_machine(spec: str, n: int, calibrate: bool):
@@ -139,6 +145,27 @@ def _reject_fault_flags(args: argparse.Namespace, command: str) -> None:
         raise ConfigError(f"fault injection is only supported for cc/mst, not {command}")
 
 
+@contextlib.contextmanager
+def _maybe_analyzed(args: argparse.Namespace):
+    """Run the body under the epoch race detector when ``--analyze``."""
+    if not getattr(args, "analyze", False):
+        yield None
+        return
+    from .analysis import analyzed
+
+    with analyzed() as session:
+        yield session
+
+
+def _sanitizer_exit(session) -> int:
+    """Print the sanitizer report; exit 3 when actual races were found."""
+    if session is None:
+        return 0
+    print()
+    print(session.render())
+    return 3 if session.has_races else 0
+
+
 def _print_info(info: SolveInfo) -> None:
     print(f"\nmachine : {info.machine.describe()}")
     print(f"modeled : {info.sim_time_ms:.3f} ms in {info.iterations} iteration(s)")
@@ -163,13 +190,14 @@ def _cmd_cc(args: argparse.Namespace) -> int:
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"connected components — {args.kind} n={g.n:,} m={g.m:,}"))
-    res = connected_components(
-        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
-        faults=_fault_plan(args, machine),
-    )
+    with _maybe_analyzed(args) as session:
+        res = connected_components(
+            g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
+            faults=_fault_plan(args, machine),
+        )
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
-    return 0
+    return _sanitizer_exit(session)
 
 
 def _cmd_mst(args: argparse.Namespace) -> int:
@@ -177,13 +205,14 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"minimum spanning forest — {args.kind} n={g.n:,} m={g.m:,}"))
-    res = minimum_spanning_forest(
-        g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
-        faults=_fault_plan(args, machine),
-    )
+    with _maybe_analyzed(args) as session:
+        res = minimum_spanning_forest(
+            g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
+            faults=_fault_plan(args, machine),
+        )
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
-    return 0
+    return _sanitizer_exit(session)
 
 
 def _cmd_listrank(args: argparse.Namespace) -> int:
@@ -199,10 +228,11 @@ def _cmd_listrank(args: argparse.Namespace) -> int:
         "cgm": lambda: solve_ranks_cgm(lst, machine, opts, args.tprime),
         "sequential": lambda: solve_ranks_sequential(lst),
     }
-    ranks, info = solvers[args.impl]()
+    with _maybe_analyzed(args) as session:
+        ranks, info = solvers[args.impl]()
     print(f"\nhead rank: {int(ranks.max())} (= n-1: {int(ranks.max()) == args.n - 1})")
     _print_info(info)
-    return 0
+    return _sanitizer_exit(session)
 
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
@@ -214,17 +244,18 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"BFS from {args.source} — {args.kind} n={g.n:,} m={g.m:,}"))
-    if args.impl == "collective":
-        dist, info = solve_bfs_collective(g, args.source, machine, opts, args.tprime)
-    elif args.impl == "naive":
-        dist, info = solve_bfs_naive_upc(g, args.source, machine)
-    else:
-        dist, info = solve_bfs_sequential(g, args.source)
+    with _maybe_analyzed(args) as session:
+        if args.impl == "collective":
+            dist, info = solve_bfs_collective(g, args.source, machine, opts, args.tprime)
+        elif args.impl == "naive":
+            dist, info = solve_bfs_naive_upc(g, args.source, machine)
+        else:
+            dist, info = solve_bfs_sequential(g, args.source)
     reached = dist != UNREACHED
     print(f"\nreached {int(reached.sum()):,}/{g.n:,} vertices;"
           f" eccentricity {int(dist[reached].max())}; levels {info.iterations}")
     _print_info(info)
-    return 0
+    return _sanitizer_exit(session)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -242,6 +273,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
     calibrated = cluster_for_input(n, 16, 8)
     print(f"\ncalibrated for n={n:,}: {calibrated.describe()}")
     print(f"per-call scale: {calibrated.per_call_scale:.2e}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import run_lint
+
+    paths = args.paths or [str(Path(__file__).parent)]
+    findings = run_lint(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding(s); see docs/static-analysis.md for the rule catalog")
+        return 1
+    print(f"analyze: {len(paths)} path(s) clean")
     return 0
 
 
@@ -289,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="machine presets and calibration")
     p_info.add_argument("--n", type=int, default=100_000)
     p_info.set_defaults(func=_cmd_info)
+
+    p_an = sub.add_parser("analyze", help="static cost-model soundness lint")
+    p_an.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: the repro package)"
+    )
+    p_an.set_defaults(func=_cmd_analyze)
 
     p_fig = sub.add_parser("figures", help="run paper-figure reproductions")
     p_fig.add_argument("--scale", type=float, default=0.25)

@@ -267,6 +267,12 @@ def getd(
         off = apply_offload(rt, indices, owners, OptimizationFlags.none(), hot_index)
 
     charge_sort(rt, off.indices.sizes(), opts, sort_method)
+    if rt.analyzer is not None:
+        # Coordinated read: the collective's protocol orders it, so the
+        # detector tracks it for phase stats but exempts it from races.
+        rt.analyzer.record_collective(
+            array, "r", off.indices.total, phase=f"getd[{cache_key or 'dyn'}]"
+        )
 
     if rt.machine.nodes == 1:
         # Shared-memory GetD: no count exchange, no transfers — each

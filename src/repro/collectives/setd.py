@@ -77,6 +77,12 @@ def _scatter_collective(
         off = apply_offload(rt, indices, owners, OptimizationFlags.none(), hot_index)
 
     charge_sort(rt, off.indices.sizes(), opts, sort_method)
+    if rt.analyzer is not None:
+        # Coordinated write: adjudicated at the owner inside the
+        # collective, so it is exempt from the race analysis.
+        rt.analyzer.record_collective(
+            array, "w", off.indices.total, phase=f"setd[{cache_key or 'dyn'}]"
+        )
 
     if rt.machine.nodes == 1:
         # Shared-memory SetD: each thread applies its own grouped updates

@@ -25,7 +25,6 @@ from ..core.results import SolveInfo
 from ..runtime.machine import MachineConfig, hps_cluster
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
-from ..runtime.trace import Category
 from .generator import LinkedList
 
 __all__ = ["solve_ranks_wyllie"]
@@ -56,15 +55,14 @@ def solve_ranks_wyllie(
         rounds += 1
         check_converged(rounds, n, "Wyllie list ranking")
         rt.counters.add(iterations=1)
-        rt.local_stream(sizes_local, Category.COPY)
-        idxp = PartitionedArray(succ.data.copy(), vert_offsets)
+        idxp = PartitionedArray(rt.owner_block_read(succ, counts=sizes_local), vert_offsets)
         rank_of_succ = getd(rt, rank, idxp, opts, ctx, None, tprime, sort_method)
         succ_of_succ = getd(rt, succ, idxp, opts, ctx, None, tprime, sort_method)
         moved = succ_of_succ != succ.data
-        # rank[tail] stays 0, so the unconditional add is exact.
-        rank.data[:] = rank.data + rank_of_succ
-        succ.data[:] = succ_of_succ
-        rt.local_stream(2.0 * sizes_local, Category.COPY)
+        # rank[tail] stays 0, so the unconditional add is exact.  Both
+        # block stores are priced as one double-width stream.
+        rt.owner_block_write(rank, rank.data + rank_of_succ, counts=2.0 * sizes_local)
+        rt.owner_block_write(succ, succ_of_succ, charge="none")
         rt.local_ops(sizes_local)
         moved_per_thread = PartitionedArray(
             moved.astype(np.int64), vert_offsets

@@ -149,8 +149,7 @@ def solve_mst_collective(
             rt.local_stream(4.0 * live.sizes().astype(np.float64), Category.WORK)
 
             # Reset the per-supervertex minimum array (owner-local).
-            minedge.data[:] = NO_EDGE
-            rt.local_stream(sizes_local, Category.COPY)
+            rt.owner_block_write(minedge, NO_EDGE, counts=sizes_local)
 
             # Every live edge bids for both endpoint supervertices.
             targets = PartitionedArray.concat_pairwise(
@@ -178,9 +177,7 @@ def solve_mst_collective(
             # write: minedge and d share the same distribution).
             ra, rb = du_c[pos], dv_c[pos]
             partners = ra + rb - roots
-            d.data[roots] = partners
-            hook_writes = np.bincount(d.owner_thread(roots), minlength=rt.s).astype(np.float64)
-            rt.local_stream(hook_writes, Category.COPY)
+            rt.owner_indexed_write(d, roots, partners, category=Category.COPY)
 
             # Break mutual hooks; needs d[partner] — a collective gather.
             partner_part = partition_by_owner(roots, d).with_data(partners)
@@ -191,6 +188,7 @@ def solve_mst_collective(
             pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
         except ThreadCrash:
             state = ck.restore()
+            # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
             d.data[:] = state["d"]
             u_part, v_part = state["u_part"], state["v_part"]
             w_part, id_part = state["w_part"], state["id_part"]

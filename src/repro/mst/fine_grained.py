@@ -116,8 +116,7 @@ def solve_mst_fine_grained(
         positions = np.arange(live.total, dtype=np.int64)
         keys = pack_candidates(w_c, positions)
 
-        minedge.data[:] = NO_EDGE
-        rt.local_stream(sizes_local, Category.COPY)
+        rt.owner_block_write(minedge, NO_EDGE, counts=sizes_local)
 
         # Locked candidate updates: each live edge bids for both
         # endpoints' records.
@@ -163,9 +162,7 @@ def solve_mst_fine_grained(
         chosen.append(np.unique(id_c[pos]))
         ra, rb = du_c[pos], dv_c[pos]
         partners = ra + rb - roots
-        d.data[roots] = partners
-        hook_writes = np.bincount(d.owner_thread(roots), minlength=rt.s).astype(np.float64)
-        rt.local_stream(hook_writes, Category.COPY)
+        rt.owner_indexed_write(d, roots, partners, category=Category.COPY)
         owners_sorted = d.owner_thread(roots)
         offsets = np.searchsorted(owners_sorted, np.arange(rt.s + 1, dtype=np.int64))
         read(PartitionedArray(partners, offsets))
@@ -179,8 +176,7 @@ def solve_mst_fine_grained(
             guard += 1
             check_converged(guard, n, f"mst-{style} shortcut")
             counts = PartitionedArray(active.astype(np.int64), vert_offsets).segment_sums()
-            rt.local_stream(counts, Category.COPY)
-            sub = PartitionedArray(d.data.copy(), vert_offsets).filter(active)
+            sub = PartitionedArray(rt.owner_block_read(d, counts=counts), vert_offsets).filter(active)
             if style == "upc":
                 grand_sub = rt.fine_grained_read(d, sub)
                 grand = d.data.copy()
@@ -191,6 +187,9 @@ def solve_mst_fine_grained(
             moved = grand != d.data
             if not moved.any():
                 break
+            # The async write-back is deliberately uncharged in the
+            # lock-based baseline: it rides the movers' read pass above.
+            # repro: waive[CM01] uncharged async write-back (modeled with the read)
             d.data[moved] = grand[moved]
             active = moved
 

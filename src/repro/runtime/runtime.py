@@ -50,9 +50,18 @@ class PGASRuntime:
     crashes fire at synchronization points.  With no plan (or a no-op
     plan) the fault layer is skipped entirely and modeled times are
     bit-identical to a fault-free build.
+
+    ``analyze`` attaches a
+    :class:`~repro.analysis.race.EpochRaceDetector` (pass ``True`` for a
+    fresh one or an existing detector to share).  Runtimes built inside
+    a :func:`repro.analysis.analyzed` block attach automatically.  The
+    detector only *observes* — it never charges time or draws random
+    numbers — so modeled results are bit-identical with it on or off.
     """
 
-    def __init__(self, machine: MachineConfig, profile: bool = False, faults=None) -> None:
+    def __init__(
+        self, machine: MachineConfig, profile: bool = False, faults=None, analyze=False
+    ) -> None:
         self.machine = machine
         self.cost = CostModel(machine)
         self.clocks = ThreadClocks(machine)
@@ -75,6 +84,18 @@ class PGASRuntime:
             self.profiler = PhaseProfiler()
             if session is not None:
                 session.profilers.append(self.profiler)
+        self.analyzer = None
+        from ..analysis.race import EpochRaceDetector, current_analysis
+
+        analysis = current_analysis()
+        if analyze or analysis is not None:
+            if isinstance(analyze, EpochRaceDetector):
+                self.analyzer = analyze
+            else:
+                self.analyzer = EpochRaceDetector()
+            self.analyzer.attach(machine)
+            if analysis is not None:
+                analysis.add(self.analyzer)
 
     def phase_start(self) -> "tuple[np.ndarray, int] | None":
         """Snapshot clocks and retry count if profiling; collectives call
@@ -116,13 +137,17 @@ class PGASRuntime:
         """Simulated execution time so far (slowest thread)."""
         return self.clocks.elapsed
 
-    def shared_array(self, data: np.ndarray, block: int | None = None) -> SharedArray:
+    def shared_array(
+        self, data: np.ndarray, block: int | None = None, name: str | None = None
+    ) -> SharedArray:
         """Allocate and distribute a shared array, charging each thread
         for touching (initializing) its local portion."""
-        arr = SharedArray(self.machine, data, block)
+        arr = SharedArray(self.machine, data, block, name=name)
         init = self.cost.seq_access_time(arr.local_sizes(), arr.nbytes_per_elem)
         self.charge(Category.WORK, init)
         self.counters.add(local_seq_elements=arr.size)
+        if self.analyzer is not None:
+            self.analyzer.register_array(arr)
         return arr
 
     # -- charging primitives --------------------------------------------------
@@ -204,6 +229,11 @@ class PGASRuntime:
         """Full barrier across all simulated threads."""
         self.clocks.barrier(self.cost.barrier_time())
         self.counters.add(barriers=1)
+        # Close the detector epoch BEFORE crash polling: a ThreadCrash
+        # replays the round in fresh epochs, so the replay cannot
+        # conflict with the aborted attempt (no phantom reports).
+        if self.analyzer is not None:
+            self.analyzer.on_barrier()
         if self.faults is not None:
             self._poll_crash()
 
@@ -225,6 +255,8 @@ class PGASRuntime:
         if self.machine.nodes > 1:
             self.counters.add(remote_messages=rounds * self.s)
         self.counters.add(barriers=1)
+        if self.analyzer is not None:
+            self.analyzer.on_barrier()
         if self.faults is not None:
             self._poll_crash()
         return bool(flags.any())
@@ -256,6 +288,10 @@ class PGASRuntime:
         w = arr.nbytes_per_elem
         self.charge_fine_grained(remote, w)
         self._charge_fine_local(arr, indices, local)
+        if self.analyzer is not None:
+            self.analyzer.record_fine(
+                arr, "r", indices.data, indices.thread_ids(), phase="fine-read"
+            )
         return arr.gather(indices.data)
 
     def _charge_fine_local(
@@ -313,6 +349,15 @@ class PGASRuntime:
         w = arr.nbytes_per_elem
         self.charge_fine_grained(remote, w)
         self._charge_fine_local(arr, indices, local)
+        if self.analyzer is not None:
+            self.analyzer.record_fine(
+                arr,
+                "w",
+                indices.data,
+                indices.thread_ids(),
+                combining=combine in ("min", "store_min"),
+                phase="fine-write",
+            )
         if combine == "min":
             return arr.scatter_min(indices.data, values)
         if combine == "store_min":
@@ -352,6 +397,82 @@ class PGASRuntime:
         """Charge simple ALU work."""
         self.charge(category, self.cost.op_time(nops))
         self.counters.add(alu_ops=self._count_total(nops))
+
+    # -- owner-local charged access ---------------------------------------------
+    #
+    # The SPMD solvers update each thread's own block of a shared array
+    # ("owner computes"); these helpers bundle the store, the charge, and
+    # the sanitizer registration so no call site touches ``arr.data``
+    # raw.  Charge shape matches the hand-written originals exactly:
+    # ``counts`` per-thread elements through ``local_stream`` (streamed
+    # pass) or ``local_ops`` (ALU pass), defaulting to one pass over each
+    # thread's block.
+
+    def _owner_counts(self, arr: SharedArray, counts) -> np.ndarray:
+        if counts is None:
+            return arr.local_sizes().astype(np.float64)
+        return counts
+
+    def _owner_charge(self, arr: SharedArray, charge: str, counts, category) -> None:
+        if charge == "none":
+            # Cost fused into an adjacent charge (e.g. two block stores
+            # priced as one double-width stream); caller documents why.
+            return
+        counts = self._owner_counts(arr, counts)
+        if charge == "stream":
+            self.local_stream(counts, Category.COPY if category is None else category)
+        elif charge == "ops":
+            self.local_ops(counts, Category.WORK if category is None else category)
+        else:
+            raise CollectiveError(f"unknown owner charge mode {charge!r}")
+
+    def owner_block_read(
+        self, arr: SharedArray, *, counts=None, category: str = Category.COPY
+    ) -> np.ndarray:
+        """Each thread streams its own block; returns a copy of the full
+        array (the simulation's one-address-space shortcut)."""
+        self.local_stream(self._owner_counts(arr, counts), category)
+        if self.analyzer is not None:
+            self.analyzer.record_block(arr, "r", phase="owner-block-read")
+        return arr.data.copy()
+
+    def owner_block_write(
+        self, arr: SharedArray, values, *, charge: str = "stream", counts=None, category=None
+    ) -> None:
+        """Each thread overwrites its own block (``arr[:] = values``)."""
+        arr.data[:] = values
+        self._owner_charge(arr, charge, counts, category)
+        if self.analyzer is not None:
+            self.analyzer.record_block(arr, "w", phase="owner-block-write")
+
+    def owner_masked_write(
+        self,
+        arr: SharedArray,
+        mask: np.ndarray,
+        values,
+        *,
+        charge: str = "stream",
+        counts=None,
+        category=None,
+    ) -> None:
+        """Each thread stores into the masked subset of its own block."""
+        arr.data[mask] = values
+        self._owner_charge(arr, charge, counts, category)
+        if self.analyzer is not None:
+            self.analyzer.record_owner_write(
+                arr, np.flatnonzero(mask), phase="owner-masked-write"
+            )
+
+    def owner_indexed_write(
+        self, arr: SharedArray, indices: np.ndarray, values, *, category: str = Category.WORK
+    ) -> None:
+        """Store at explicit indices, charged to each index's owning
+        thread (one streamed element per write on the owner's clock)."""
+        arr.data[indices] = values
+        writes = np.bincount(arr.owner_thread(indices), minlength=self.s)
+        self.local_stream(writes.astype(np.float64), category)
+        if self.analyzer is not None:
+            self.analyzer.record_owner_write(arr, indices, phase="owner-indexed-write")
 
     # -- structured helpers -----------------------------------------------------
 

@@ -24,11 +24,21 @@ __all__ = ["SharedArray"]
 
 
 class SharedArray:
-    """A blocked-distributed shared array over a simulated machine."""
+    """A blocked-distributed shared array over a simulated machine.
 
-    __slots__ = ("machine", "data", "block")
+    ``name`` labels the array in sanitizer reports (the race detector
+    auto-assigns ``shared<N>`` when the allocator did not name it).
+    """
 
-    def __init__(self, machine: MachineConfig, data: np.ndarray, block: int | None = None) -> None:
+    __slots__ = ("machine", "data", "block", "name")
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        data: np.ndarray,
+        block: int | None = None,
+        name: str | None = None,
+    ) -> None:
         data = np.asarray(data)
         if data.ndim != 1:
             raise DistributionError("shared arrays are one-dimensional")
@@ -42,6 +52,7 @@ class SharedArray:
         self.machine = machine
         self.data = data
         self.block = int(block)
+        self.name = name
 
     # -- geometry -------------------------------------------------------------
 
