@@ -1,0 +1,118 @@
+"""Autotuner validation: the auto plan vs the exhaustive lattice sweep.
+
+For the paper's Fig. 5/6 configurations (random and hybrid inputs, the
+16x8 machine) this benchmark measures EVERY point of the optimization
+lattice (all 2^6 flag subsets × the deterministic t' grid), then runs
+``impl/opts/tprime = auto`` on the same input and checks the acceptance
+criteria of the tuning subsystem:
+
+* the auto configuration's modeled time is within 5% of the exhaustive
+  best;
+* it is never slower than the paper's own hand-picked default (all
+  flags, t'=2).
+
+Results also land in ``BENCH_tuning.json`` (machine-readable modeled ms
+per configuration) for CI to archive.
+"""
+
+import itertools
+
+from repro.bench import bench_graph, format_table, write_bench_json
+from repro.core import OptimizationFlags, cluster_for_input, connected_components
+from repro.runtime.cost import CostModel
+from repro.scheduling.cache_model import tprime_candidates
+from repro.tuning import Workload, build_plan
+
+
+def _sweep(g, cluster, kind, n):
+    cands = tprime_candidates(max(1, n // cluster.total_threads), CostModel(cluster))
+    measured = {}
+    for opts, tp in itertools.product(OptimizationFlags.lattice(), cands):
+        res = connected_components(g, cluster, opts=opts, tprime=tp)
+        measured[(opts.key(), tp)] = res.info.sim_time_ms
+    return measured
+
+
+def test_tuning_auto_vs_exhaustive(benchmark, repro_scale, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "tune_cache.json"))
+    n = max(1500, int(6000 * repro_scale))
+    payload = {"n": n, "kinds": {}}
+    rows = []
+
+    def run():
+        out = {}
+        for kind in ("random", "hybrid"):
+            g = bench_graph(kind, n, 4 * n, seed=11)
+            cluster = cluster_for_input(n, 16, 8)
+            measured = _sweep(g, cluster, kind, n)
+            auto = connected_components(
+                g, cluster, impl="auto", opts="auto", tprime="auto", graph_kind=kind
+            )
+            default = connected_components(
+                g, cluster, opts=OptimizationFlags.all(), tprime=2
+            )
+            out[kind] = (measured, auto.info.sim_time_ms, default.info.sim_time_ms)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for kind, (measured, auto_ms, default_ms) in results.items():
+        best_key = min(measured, key=measured.get)
+        best_ms = measured[best_key]
+        rows.append(
+            [
+                kind,
+                len(measured),
+                f"{best_key[0]}/t'={best_key[1]}",
+                f"{best_ms:.3f}",
+                f"{auto_ms:.3f}",
+                f"{default_ms:.3f}",
+            ]
+        )
+        payload["kinds"][kind] = {
+            "auto_ms": auto_ms,
+            "default_ms": default_ms,
+            "exhaustive_best_ms": best_ms,
+            "exhaustive_best_config": f"{best_key[0]}/t'={best_key[1]}",
+            "lattice": {f"{key[0]}/t'={key[1]}": ms for key, ms in measured.items()},
+        }
+        assert auto_ms <= 1.05 * best_ms, (
+            f"{kind}: auto {auto_ms:.3f} ms not within 5% of exhaustive best"
+            f" {best_ms:.3f} ms ({best_key})"
+        )
+        assert auto_ms <= default_ms * 1.001, (
+            f"{kind}: auto {auto_ms:.3f} ms slower than the hand-picked default"
+            f" {default_ms:.3f} ms"
+        )
+        benchmark.extra_info[f"{kind}_auto_vs_best"] = round(auto_ms / best_ms, 4)
+        benchmark.extra_info[f"{kind}_auto_vs_default"] = round(auto_ms / default_ms, 4)
+
+    print()
+    print(
+        format_table(
+            ["kind", "configs", "exhaustive best", "best ms", "auto ms", "default ms"],
+            rows,
+        )
+    )
+    path = write_bench_json("tuning", payload)
+    print(f"wrote {path}")
+
+
+def test_tuning_plan_report(benchmark, repro_scale, tmp_path, monkeypatch):
+    """Predicted-vs-measured sanity of the planner itself: probed entries
+    must rank consistently with their measurements (the probe stage IS
+    the measurement, so this guards the bookkeeping, not the model)."""
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "tune_cache.json"))
+    n = max(1500, int(6000 * repro_scale))
+    cluster = cluster_for_input(n, 16, 8)
+    workload = Workload(kind="cc", n=n, m=4 * n, graph_kind="random")
+
+    plan = benchmark.pedantic(
+        lambda: build_plan(workload, cluster), rounds=1, iterations=1
+    )
+    probed = plan.probed()
+    assert probed, "plan must contain probe-measured entries"
+    ms = [e.probed_ms for e in probed]
+    assert ms == sorted(ms), "probed entries must be ranked by measured time"
+    benchmark.extra_info["probed_configs"] = len(probed)
+    benchmark.extra_info["selected"] = plan.selected.config_label()

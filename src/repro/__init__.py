@@ -31,6 +31,7 @@ Packages
 ``repro.mst``          minimum-spanning-forest implementations
 ``repro.core``         high-level API, optimization flags, analysis
 ``repro.analysis``     sanitizer suite: epoch race detector + static linter
+``repro.tuning``       autotuner: probes → plan (impl × flags × t') → adapt
 ``repro.bench``        experiment harness used by ``benchmarks/``
 """
 
@@ -72,6 +73,15 @@ from .graph import (
     save_edgelist,
     with_random_weights,
 )
+from .tuning import (
+    MachineProfile,
+    OnlineAdapter,
+    PlanCache,
+    TuningPlan,
+    Workload,
+    autotune,
+    calibrate_profile,
+)
 from .runtime import (
     MachineConfig,
     PGASRuntime,
@@ -104,18 +114,25 @@ __all__ = [
     "MSTResult",
     "MST_IMPLS",
     "MachineConfig",
+    "MachineProfile",
     "NicDegradation",
+    "OnlineAdapter",
     "OptimizationFlags",
     "PGASRuntime",
     "PartitionedArray",
+    "PlanCache",
     "ReproError",
     "RetryPolicy",
     "SharedArray",
     "SolveInfo",
     "ThreadCrash",
+    "TuningPlan",
     "VerificationError",
+    "Workload",
     "__version__",
     "analyzed",
+    "autotune",
+    "calibrate_profile",
     "canonical_labels",
     "cluster_for_input",
     "connected_components",

@@ -14,7 +14,7 @@ from .figures import (
     sec3_analysis,
     sec6_hybrid_summary,
 )
-from .harness import FigureResult, bench_cache_dir, bench_graph, speedup
+from .harness import FigureResult, bench_cache_dir, bench_graph, speedup, write_bench_json
 from .report import banner, format_kv, format_ratio, format_table
 
 __all__ = [
@@ -38,4 +38,5 @@ __all__ = [
     "sec3_analysis",
     "sec6_hybrid_summary",
     "speedup",
+    "write_bench_json",
 ]

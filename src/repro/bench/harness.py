@@ -7,6 +7,7 @@ wall time — mirroring the paper's own remark about generation cost.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -17,7 +18,7 @@ from ..graph.generators import hybrid_graph, random_graph, with_random_weights
 from ..graph.io import cached_graph
 from .report import format_table
 
-__all__ = ["bench_cache_dir", "bench_graph", "FigureResult", "speedup"]
+__all__ = ["bench_cache_dir", "bench_graph", "write_bench_json", "FigureResult", "speedup"]
 
 
 def bench_cache_dir() -> Path:
@@ -49,6 +50,21 @@ def bench_graph(
         return with_random_weights(g, seed + 1) if weighted else g
 
     return cached_graph(path, build)
+
+
+def write_bench_json(name: str, payload: dict, directory: "Path | None" = None) -> Path:
+    """Write a machine-readable benchmark result file (``BENCH_<name>.json``).
+
+    The benchmarks print human tables; CI additionally wants structured
+    numbers it can archive and diff across runs.  Files land next to the
+    working directory by default (CI uploads them as artifacts) with
+    sorted keys, so identical results produce identical bytes.
+    """
+    directory = Path(directory) if directory is not None else Path.cwd()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1, default=float) + "\n")
+    return path
 
 
 def speedup(baseline_time: float, time: float) -> float:

@@ -84,6 +84,7 @@ def solve_cc_collective(
     tprime: int = 1,
     sort_method: str = "count",
     faults=None,
+    adapter=None,
 ) -> CCResult:
     """Connected components via GetD/SetD collectives.
 
@@ -94,10 +95,18 @@ def solve_cc_collective(
     schedules crashes, each grafting round checkpoints the label array
     and the live edge partitions; an injected crash restores the last
     checkpoint and replays only the lost round.
+
+    ``adapter`` accepts a :class:`~repro.tuning.OnlineAdapter`: after
+    each grafting round it digests the round's phase records and may
+    revise ``opts``/``tprime`` for the next round (performance knobs
+    only — labels are identical with or without it).  Profiling is
+    forced on so the adapter has phase records to read.
     """
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, faults=faults)
+    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults)
+    if adapter is not None:
+        adapter.begin(rt)
     n = graph.n
     if n == 0:
         info = SolveInfo(machine, "cc-collective", 0.0, time.perf_counter() - wall_start, 0, rt.trace)
@@ -108,12 +117,13 @@ def solve_cc_collective(
     d = rt.shared_array(np.arange(n, dtype=np.int64))
     vert_offsets = _local_label_offsets(d)
     ctx = CollectiveContext()
-    hot = 0 if opts.offload else None
 
     ck = RoundCheckpointer(rt)
     iteration = 0
     while True:
         iteration += 1
+        # Recomputed per round: the adapter may have flipped `offload`.
+        hot = 0 if opts.offload else None
         check_converged(iteration, n, "cc-collective grafting")
         ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
         try:
@@ -150,6 +160,13 @@ def solve_cc_collective(
 
             changed_flags = np.full(rt.s, changed > 0)
             done = not rt.allreduce_flag(changed_flags)
+            if adapter is not None and not done:
+                new_opts, tprime = adapter.on_round(opts, tprime)
+                if new_opts.compact != opts.compact:
+                    # compact changes which requests exist; the id cache
+                    # must not serve buffers for the old request lists.
+                    ctx.invalidate()
+                opts = new_opts
         except ThreadCrash:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass

@@ -6,12 +6,17 @@ Commands
 ``mst``       solve minimum spanning forest
 ``listrank``  rank a random linked list
 ``bfs``       breadth-first search distances from a source
-``info``      show machine presets and calibration for an input size
+``info``      show machine presets, calibration, and any cached tuning plan
 ``figures``   run paper-figure reproductions and print their tables
+``tune``      run the autotuner and print its predicted-vs-measured table
 
 Every solve prints the result summary, the modeled time, the Fig. 5
 category breakdown, and the communication counters.  All inputs are
 generated deterministically from ``--seed``.
+
+``--impl auto``, ``--opts auto``, and ``--tprime auto`` hand the
+corresponding choice to the :mod:`repro.tuning` planner (plans are
+cached; see ``docs/autotuning.md``).
 """
 
 from __future__ import annotations
@@ -56,11 +61,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip input-size calibration of cache/per-call costs",
     )
-    parser.add_argument("--tprime", type=int, default=2, help="virtual threads t'")
+    parser.add_argument(
+        "--tprime",
+        type=_parse_tprime,
+        default=2,
+        help="virtual threads t' (a positive int, or 'auto' for the cache-fit choice)",
+    )
     parser.add_argument(
         "--opts",
         default="all",
-        help="'all', 'none', or comma-separated flag names (e.g. compact,circular)",
+        help="'all', 'none', 'auto' (let the tuner choose), or comma-separated"
+        " flag names (e.g. compact,circular)",
     )
     parser.add_argument(
         "--hierarchical",
@@ -90,6 +101,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_tprime(text: str):
+    """argparse type for ``--tprime``: positive int or the string 'auto'."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"t' must be >= 1, got {value}")
+    return value
+
+
 def _parse_machine(spec: str, n: int, calibrate: bool):
     if spec == "seq":
         base = sequential_machine()
@@ -104,7 +130,14 @@ def _parse_machine(spec: str, n: int, calibrate: bool):
     return machine_for_input(base, n) if calibrate else base
 
 
-def _parse_opts(spec: str, hierarchical: bool) -> OptimizationFlags:
+def _parse_opts(spec: str, hierarchical: bool):
+    if spec == "auto":
+        if hierarchical:
+            raise SystemExit(
+                "--opts auto cannot combine with --hierarchical:"
+                " the tuner searches the paper's measured flags only"
+            )
+        return "auto"
     if spec == "all":
         flags = OptimizationFlags.all()
     elif spec == "none":
@@ -183,6 +216,8 @@ def _print_info(info: SolveInfo) -> None:
             f"faults  : {c.retries:,} retries / {c.crashes} crashes /"
             f" {c.checkpoint_restores} checkpoint restores"
         )
+    for event in info.trace.events:
+        print(f"event   : {event}")
 
 
 def _cmd_cc(args: argparse.Namespace) -> int:
@@ -193,7 +228,7 @@ def _cmd_cc(args: argparse.Namespace) -> int:
     with _maybe_analyzed(args) as session:
         res = connected_components(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
-            faults=_fault_plan(args, machine),
+            faults=_fault_plan(args, machine), graph_kind=args.kind,
         )
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
@@ -208,7 +243,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     with _maybe_analyzed(args) as session:
         res = minimum_spanning_forest(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
-            faults=_fault_plan(args, machine),
+            faults=_fault_plan(args, machine), graph_kind=args.kind,
         )
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
@@ -259,6 +294,8 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from .tuning import PlanCache, Workload, calibrate_profile
+
     print(banner("machine presets"))
     rows = []
     for name, machine in [
@@ -270,9 +307,79 @@ def _cmd_info(args: argparse.Namespace) -> int:
         rows.append([name, machine.describe()])
     print(format_table(["preset", "description"], rows))
     n = args.n
-    calibrated = cluster_for_input(n, 16, 8)
+    calibrated = _parse_machine(args.machine, n, calibrate=True)
     print(f"\ncalibrated for n={n:,}: {calibrated.describe()}")
     print(f"per-call scale: {calibrated.per_call_scale:.2e}")
+
+    print(banner("calibrated machine profile (measured by the tuning probes)"))
+    profile = calibrate_profile(calibrated)
+    for line in profile.summary_lines():
+        print(line)
+
+    cache = PlanCache()
+    print(f"\ntuning-plan cache: {cache.path} ({len(cache)} plan(s))")
+    m = int(args.density * n)
+    for kind in ("cc", "mst"):
+        plan = cache.get(calibrated, Workload(kind=kind, n=n, m=m, graph_kind=args.kind))
+        if plan is None:
+            print(f"  {kind}: no cached plan for this machine x input (run `repro tune`)")
+        else:
+            for line in plan.summary_lines():
+                print(f"  {kind}: {line}")
+    return 0
+
+
+def _plan_table(plan, limit: int = 12) -> str:
+    """Predicted-vs-measured table of a plan's top entries (all probed
+    entries first, then the best analytic-only rows up to ``limit``)."""
+    probed = plan.probed()
+    rest = [e for e in plan.entries if e.probed_ms is None][: max(0, limit - len(probed))]
+    rows = []
+    for e in probed + rest:
+        rows.append(
+            [
+                e.impl,
+                e.opts_key,
+                e.tprime,
+                f"{e.predicted_ms:.3f}",
+                "-" if e.probed_ms is None else f"{e.probed_ms:.3f}",
+            ]
+        )
+    return format_table(["impl", "flags", "t'", "predicted ms", "measured ms"], rows)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tuning import PlanCache, Workload, autotune, calibrate_profile
+
+    machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
+    m = int(args.density * args.n)
+    print(banner(f"autotune — {args.algo} {args.kind} n={args.n:,} m={m:,}"))
+
+    profile = calibrate_profile(machine)
+    print("machine profile:")
+    for line in profile.summary_lines():
+        print(f"  {line}")
+
+    cache = PlanCache()
+    workload = Workload(kind=args.algo, n=args.n, m=m, graph_kind=args.kind)
+    plan = autotune(workload, machine, cache=cache, use_cache=not args.fresh)
+    print(f"\nplan cache: {cache.path}")
+    print(f"searched {plan.lattice_size} configurations;"
+          f" {len(plan.probed())} probe-measured at n={plan.probe_n:,}")
+    print(_plan_table(plan))
+    sel = plan.selected
+    print(f"\nselected: {sel.config_label()} ({sel.best_ms:.3f} ms modeled at n={args.n:,})")
+
+    # Demonstrate the pick against the paper's default on the real input.
+    g = _build_graph(args, weighted=args.algo == "mst")
+    solve = connected_components if args.algo == "cc" else minimum_spanning_forest
+    auto = solve(g, machine, impl="auto", opts="auto", tprime="auto", graph_kind=args.kind)
+    default = solve(g, machine, impl="collective", opts=OptimizationFlags.all(), tprime=2)
+    print(f"\nfull-size check (n={args.n:,}, seed={args.seed}):")
+    print(f"  auto    : {auto.info.sim_time_ms:.3f} ms modeled")
+    print(f"  default : {default.info.sim_time_ms:.3f} ms modeled (all flags, t'=2)")
+    for event in auto.info.trace.events:
+        print(f"  event   : {event}")
     return 0
 
 
@@ -335,7 +442,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="machine presets and calibration")
     p_info.add_argument("--n", type=int, default=100_000)
+    p_info.add_argument("--density", type=float, default=4.0, help="edges per vertex (m/n)")
+    p_info.add_argument(
+        "--kind", choices=("random", "hybrid"), default="random", help="input family"
+    )
+    p_info.add_argument(
+        "--machine",
+        default="16x8",
+        help="cluster shape NODESxTHREADS (e.g. 16x8), 'smp' (1x16) or 'seq'",
+    )
     p_info.set_defaults(func=_cmd_info)
+
+    p_tune = sub.add_parser(
+        "tune", help="calibrate, search the configuration lattice, print the plan"
+    )
+    _add_common(p_tune)
+    p_tune.add_argument("--algo", choices=("cc", "mst"), default="cc")
+    p_tune.add_argument(
+        "--fresh", action="store_true", help="ignore any cached plan and re-search"
+    )
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_an = sub.add_parser("analyze", help="static cost-model soundness lint")
     p_an.add_argument(

@@ -50,6 +50,46 @@ def resolve_tprime(tprime, machine: MachineConfig | None, n: int) -> int:
         raise ConfigError(f"tprime must be a positive int or 'auto', got {tprime!r}")
     return tprime
 
+
+def _resolve_auto(kind, graph, machine, impl, opts, tprime, graph_kind, adapt):
+    """Resolve ``"auto"`` impl/opts/tprime through the autotuner.
+
+    Returns ``(impl, opts, tprime, adapter)``.  A :class:`~repro.tuning.
+    TuningPlan` (cached, or built with probe solves on first use) feeds
+    every ``"auto"`` argument; explicit arguments always win over the
+    plan.  When the plan's impl is one of the adaptive collective
+    solvers, an :class:`~repro.tuning.OnlineAdapter` rides along
+    (``adapt=False`` disables it; ``offload`` adaptation is CC-only —
+    the MST solver's D[0] invariant forbids it).
+    """
+    auto_plan = impl == "auto" or opts == "auto"
+    adapter = None
+    if auto_plan and graph.n == 0:
+        # Nothing to tune on an empty input; fall back to the defaults.
+        impl = "collective" if impl == "auto" else impl
+        opts = OptimizationFlags.all() if opts == "auto" else opts
+        tprime = 1 if tprime == "auto" else tprime
+        auto_plan = False
+    if auto_plan:
+        from ..runtime.machine import hps_cluster
+        from ..tuning import OnlineAdapter, Workload, autotune
+
+        m = machine if machine is not None else hps_cluster()
+        workload = Workload(kind=kind, n=graph.n, m=graph.m, graph_kind=graph_kind)
+        plan = autotune(workload, m)
+        selected = plan.selected
+        if impl == "auto":
+            impl = selected.impl
+        if opts == "auto":
+            opts = selected.opts()
+        if tprime == "auto":
+            tprime = selected.tprime
+        if adapt and impl == "collective":
+            adapter = OnlineAdapter(m, graph.n, allow_offload=kind == "cc")
+    tprime = resolve_tprime(tprime, machine, graph.n)
+    return impl, opts, tprime, adapter
+
+
 __all__ = [
     "connected_components",
     "resolve_tprime",
@@ -59,19 +99,21 @@ __all__ = [
     "MST_IMPLS",
 ]
 
-CC_IMPLS = ("collective", "sv", "naive", "smp", "sequential", "cgm")
-MST_IMPLS = ("collective", "naive", "smp", "kruskal", "prim", "boruvka")
+CC_IMPLS = ("collective", "sv", "naive", "smp", "sequential", "cgm", "auto")
+MST_IMPLS = ("collective", "naive", "smp", "kruskal", "prim", "boruvka", "auto")
 
 
 def connected_components(
     graph: EdgeList,
     machine: MachineConfig | None = None,
     impl: str = "collective",
-    opts: OptimizationFlags = OptimizationFlags.all(),
+    opts: "OptimizationFlags | str" = OptimizationFlags.all(),
     tprime: "int | str" = 1,
     sort_method: str = "count",
     validate: bool = False,
     faults=None,
+    graph_kind: str = "random",
+    adapt: bool = True,
 ) -> CCResult:
     """Solve connected components on the simulated machine.
 
@@ -81,25 +123,36 @@ def connected_components(
         ``'collective'`` (the paper's optimized CC), ``'sv'``
         (Shiloach-Vishkin with collectives), ``'naive'`` (literal UPC
         translation), ``'smp'`` (single-node baseline), ``'sequential'``,
-        or ``'cgm'`` (the round-minimizing communication-efficient
-        baseline the paper argues against).
+        ``'cgm'`` (the round-minimizing communication-efficient baseline
+        the paper argues against), or ``'auto'`` (let the
+        :mod:`repro.tuning` planner choose).
     opts, tprime, sort_method:
         Section V optimization flags, the virtual-thread factor, and the
         grouping sort; only meaningful for the collective/sv impls.
+        ``opts='auto'`` and ``tprime='auto'`` defer to the tuning plan
+        (plain ``tprime='auto'`` without any other auto argument uses
+        the cache-fit prediction directly — no probe solves).
     validate:
         Check the labeling against the scipy oracle before returning.
     faults:
         Optional :class:`~repro.faults.FaultPlan` injected into the run
         (``collective``, ``naive``, and ``smp`` impls only).
+    graph_kind, adapt:
+        Auto-mode context: the generator family the tuner probes with,
+        and whether the online adapter may revise flags/t' mid-solve.
     """
-    tprime = resolve_tprime(tprime, machine, graph.n)
+    impl, opts, tprime, adapter = _resolve_auto(
+        "cc", graph, machine, impl, opts, tprime, graph_kind, adapt
+    )
     if faults is not None and impl not in ("collective", "naive", "smp"):
         raise ConfigError(
             f"fault injection is not supported for CC impl {impl!r};"
             " use 'collective', 'naive', or 'smp'"
         )
     if impl == "collective":
-        result = solve_cc_collective(graph, machine, opts, tprime, sort_method, faults=faults)
+        result = solve_cc_collective(
+            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter
+        )
     elif impl == "sv":
         result = solve_cc_sv(graph, machine, opts, tprime, sort_method)
     elif impl == "naive":
@@ -121,28 +174,38 @@ def minimum_spanning_forest(
     graph: EdgeList,
     machine: MachineConfig | None = None,
     impl: str = "collective",
-    opts: OptimizationFlags = OptimizationFlags.all(),
+    opts: "OptimizationFlags | str" = OptimizationFlags.all(),
     tprime: "int | str" = 1,
     sort_method: str = "count",
     validate: bool = False,
     faults=None,
+    graph_kind: str = "random",
+    adapt: bool = True,
 ) -> MSTResult:
     """Solve minimum spanning forest on the simulated machine.
 
     ``impl`` is ``'collective'`` (lock-free SetDMin Borůvka),
-    ``'naive'``, ``'smp'`` (lock-based baselines), or a sequential
-    algorithm name (``'kruskal'``, ``'prim'``, ``'boruvka'``).
-    ``faults`` optionally injects a :class:`~repro.faults.FaultPlan`
-    into the simulated impls (``collective``, ``naive``, ``smp``).
+    ``'naive'``, ``'smp'`` (lock-based baselines), a sequential
+    algorithm name (``'kruskal'``, ``'prim'``, ``'boruvka'``), or
+    ``'auto'`` (the :mod:`repro.tuning` planner chooses; ``opts`` and
+    ``tprime`` may also be ``'auto'``).  ``faults`` optionally injects a
+    :class:`~repro.faults.FaultPlan` into the simulated impls
+    (``collective``, ``naive``, ``smp``).  ``graph_kind``/``adapt`` are
+    the auto-mode context (probe family; allow mid-solve adaptation —
+    t' only for MST, offload adaptation is structurally disabled).
     """
-    tprime = resolve_tprime(tprime, machine, graph.n)
+    impl, opts, tprime, adapter = _resolve_auto(
+        "mst", graph, machine, impl, opts, tprime, graph_kind, adapt
+    )
     if faults is not None and impl not in ("collective", "naive", "smp"):
         raise ConfigError(
             f"fault injection is not supported for MST impl {impl!r};"
             " use 'collective', 'naive', or 'smp'"
         )
     if impl == "collective":
-        result = solve_mst_collective(graph, machine, opts, tprime, sort_method, faults=faults)
+        result = solve_mst_collective(
+            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter
+        )
     elif impl == "naive":
         result = solve_mst_naive_upc(graph, machine, faults=faults)
     elif impl == "smp":

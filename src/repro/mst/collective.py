@@ -62,6 +62,7 @@ def solve_mst_collective(
     tprime: int = 1,
     sort_method: str = "count",
     faults=None,
+    adapter=None,
 ) -> MSTResult:
     """Minimum spanning forest via the lock-free collective Borůvka.
 
@@ -69,12 +70,18 @@ def solve_mst_collective(
     schedules crashes, each Borůvka round checkpoints the supervertex
     labels, the live edge partitions, and the forest size; an injected
     crash restores the last checkpoint and replays only the lost round.
+
+    ``adapter`` accepts a :class:`~repro.tuning.OnlineAdapter` (built
+    with ``allow_offload=False`` — see the invariant note below); it may
+    revise ``tprime`` between Borůvka rounds, never the forest.
     """
     if graph.w is None:
         raise GraphError("MST needs a weighted graph; use with_random_weights()")
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, faults=faults)
+    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults)
+    if adapter is not None:
+        adapter.begin(rt)
     n = graph.n
     if n == 0 or graph.m == 0:
         info = SolveInfo(machine, "mst-collective", rt.elapsed, time.perf_counter() - wall_start, 0, rt.trace)
@@ -186,6 +193,12 @@ def solve_mst_collective(
             rt.local_ops(float(roots.size))
 
             pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
+            if adapter is not None:
+                new_opts, tprime = adapter.on_round(opts, tprime)
+                # Never let an adaptation re-enable offload here: the
+                # D[0] invariant it relies on fails for Boruvka.
+                opts = new_opts.with_(offload=False)
+                jump_opts = opts
         except ThreadCrash:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass

@@ -19,7 +19,15 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["PhaseRecord", "PhaseProfiler", "ProfileSession", "current_session", "profiled", "render_phases"]
+__all__ = [
+    "PhaseRecord",
+    "PhaseProfiler",
+    "ProfileSession",
+    "RoundWindow",
+    "current_session",
+    "profiled",
+    "render_phases",
+]
 
 
 @dataclass(frozen=True)
@@ -41,11 +49,39 @@ class PhaseRecord:
         return self.imbalance_s / self.duration_s if self.duration_s > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class RoundWindow:
+    """Summary of the phase records between two profiler checkpoints —
+    what the online tuning adapter reads after each CC/MST round."""
+
+    phases: int
+    duration_s: float        # sum of phase durations in the window
+    requests: int
+    max_wait_fraction: float  # worst barrier-wait share of any phase
+    hottest_thread: int       # hottest thread of that worst phase
+
+
 class PhaseProfiler:
     """Collects :class:`PhaseRecord`s from a run's clock deltas."""
 
     def __init__(self) -> None:
         self.records: List[PhaseRecord] = []
+
+    def checkpoint(self) -> int:
+        """Mark the current record count; pass to :meth:`window_since`."""
+        return len(self.records)
+
+    def window_since(self, checkpoint: int) -> RoundWindow:
+        """Summarize the records appended since ``checkpoint``."""
+        window = self.records[checkpoint:]
+        worst = max(window, key=lambda r: r.wait_fraction, default=None)
+        return RoundWindow(
+            phases=len(window),
+            duration_s=sum(r.duration_s for r in window),
+            requests=sum(r.requests for r in window),
+            max_wait_fraction=worst.wait_fraction if worst is not None else 0.0,
+            hottest_thread=worst.hottest_thread if worst is not None else 0,
+        )
 
     def record(
         self,

@@ -27,7 +27,7 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 __all__ = ["Category", "Counters", "Trace"]
 
@@ -74,6 +74,7 @@ class Counters:
     retries: int = 0
     crashes: int = 0
     checkpoint_restores: int = 0
+    tuning_adaptations: int = 0
 
     def add(self, **deltas: int) -> None:
         for key, value in deltas.items():
@@ -98,6 +99,14 @@ class Trace:
     category_seconds: Dict[str, float] = field(
         default_factory=lambda: {c: 0.0 for c in Category.ALL}
     )
+    #: Structured decision records (e.g. the autotuner's mid-solve
+    #: adaptations); free-form strings, in the order they happened.
+    events: List[str] = field(default_factory=list)
+
+    def record_event(self, event: str) -> None:
+        """Append a decision/annotation record to the trace (used by the
+        online tuning adapter so every adaptation is auditable)."""
+        self.events.append(str(event))
 
     def charge_category(self, category: str, thread_seconds: float) -> None:
         if category not in self.category_seconds:
@@ -122,6 +131,7 @@ class Trace:
             self.counters.add(**{key: value})
         for cat, sec in other.category_seconds.items():
             self.category_seconds[cat] += sec
+        self.events.extend(other.events)
 
     def summary_lines(self, nthreads: int) -> Iterable[str]:
         bd = self.breakdown(nthreads)
@@ -139,3 +149,5 @@ class Trace:
                 f"faults  : retries={c.retries} crashes={c.crashes}"
                 f" restores={c.checkpoint_restores}"
             )
+        for event in self.events:
+            yield f"event   : {event}"

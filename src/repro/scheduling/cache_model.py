@@ -21,7 +21,14 @@ from dataclasses import dataclass
 
 from ..runtime.cost import ELEM_BYTES, CostModel
 
-__all__ = ["GatherTimeBreakdown", "unscheduled_gather_time", "scheduled_gather_time", "scheduling_beneficial", "best_tprime"]
+__all__ = [
+    "GatherTimeBreakdown",
+    "unscheduled_gather_time",
+    "scheduled_gather_time",
+    "scheduling_beneficial",
+    "best_tprime",
+    "tprime_candidates",
+]
 
 
 @dataclass(frozen=True)
@@ -98,3 +105,30 @@ def best_tprime(
         if block_elems * bytes_per / tprime <= cache:
             return tprime
     return max_tprime
+
+
+def tprime_candidates(
+    block_elems: int,
+    cost: CostModel,
+    bytes_per: int = ELEM_BYTES,
+    max_tprime: int = 64,
+) -> tuple[int, ...]:
+    """Deterministic ``t'`` grid for the autotuner's search.
+
+    The Fig. 4 optimum is shallow and sits at-or-below the exact
+    cache-fit point :func:`best_tprime` predicts, so the grid is the
+    doubling ladder ``1, 2, 4, ...`` up to ``max_tprime`` plus the
+    cache-fit value and its immediate neighbours — small enough to sweep
+    exhaustively, dense enough around the predicted optimum that the
+    true one is never more than one step away.
+    """
+    fit = best_tprime(block_elems, cost, bytes_per, max_tprime)
+    ladder = set()
+    step = 1
+    while step <= max_tprime:
+        ladder.add(step)
+        step *= 2
+    for near in (fit - 1, fit, fit + 1, 2 * fit):
+        if 1 <= near <= max_tprime:
+            ladder.add(near)
+    return tuple(sorted(ladder))

@@ -1,0 +1,113 @@
+"""Persistent tuning-plan cache.
+
+Plans are expensive relative to a solve at small n (a probe stage is a
+dozen small solves), and a plan is a pure function of (machine
+parameters, workload), so the obvious move is a cache keyed on exactly
+that: ``machine fingerprint × kind × graph family × n × m``.  One JSON
+file, default ``.tune_cache.json`` at the repository root (override with
+``REPRO_TUNE_CACHE``; ``benchmarks/`` and CI point it at a scratch
+directory).
+
+Determinism contract: saving the same plans in the same order always
+produces byte-identical files (keys sorted, fixed float rounding done by
+the plan's serializer, newline-terminated).  Corrupt, stale-schema, or
+truncated cache files are treated as *empty* — the cache is an
+optimization, never a correctness dependency — and are overwritten by
+the next save.  Writes are atomic (temp file + rename) so a crashed run
+can't leave a half-written cache behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..runtime.machine import MachineConfig
+from .planner import TuningPlan, Workload
+from .probes import machine_fingerprint
+
+__all__ = ["PlanCache", "default_cache_path"]
+
+_SCHEMA_VERSION = 1
+_ENV_VAR = "REPRO_TUNE_CACHE"
+
+
+def default_cache_path() -> Path:
+    """``$REPRO_TUNE_CACHE`` or ``<repo root>/.tune_cache.json``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".tune_cache.json"
+
+
+def plan_key(machine: MachineConfig, workload: Workload) -> str:
+    return f"{machine_fingerprint(machine)}|{workload.key()}"
+
+
+class PlanCache:
+    """Load/store :class:`TuningPlan` objects by (machine, workload)."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self._plans: Dict[str, TuningPlan] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return  # missing or corrupt: start empty
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA_VERSION:
+            return  # stale schema: regenerate rather than guess
+        plans = payload.get("plans")
+        if not isinstance(plans, dict):
+            return
+        for key, entry in plans.items():
+            try:
+                self._plans[key] = TuningPlan.from_dict(entry)
+            except (KeyError, TypeError, ValueError):
+                continue  # one bad record doesn't poison the rest
+
+    # -- read ---------------------------------------------------------------
+
+    def get(self, machine: MachineConfig, workload: Workload) -> Optional[TuningPlan]:
+        plan = self._plans.get(plan_key(machine, workload))
+        if plan is None:
+            return None
+        # Guard against key collisions and hand-edited files: the stored
+        # plan must actually describe this machine and workload.
+        if plan.machine_key != machine_fingerprint(machine):
+            return None
+        if plan.workload != workload:
+            return None
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def keys(self) -> list:
+        return sorted(self._plans)
+
+    # -- write --------------------------------------------------------------
+
+    def put(self, machine: MachineConfig, workload: Workload, plan: TuningPlan) -> None:
+        self._plans[plan_key(machine, workload)] = plan
+
+    def save(self) -> Path:
+        """Write the cache atomically; returns the path written.
+
+        Byte-identical for identical contents: plans serialize with
+        sorted keys and fixed rounding, entries are ordered by key.
+        """
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "plans": {key: self._plans[key].to_dict() for key in sorted(self._plans)},
+        }
+        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, self.path)
+        return self.path

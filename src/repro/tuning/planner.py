@@ -1,0 +1,541 @@
+"""Plan search: pick (impl, flags, t') for a machine × input pair.
+
+Two stages, mirroring how production autotuners (ATLAS, FFTW, the DASH
+runtime) prune an exponential space down to a handful of measurements:
+
+1. **Analytic ranking** — a dry-run predictor walks the full lattice
+   (:meth:`OptimizationFlags.lattice` × :func:`tprime_candidates` ×
+   candidate impls) and prices one solve of each configuration using the
+   same :class:`~repro.runtime.cost.CostModel` calls the collectives
+   charge, with synthetic uniform request counts.  Hundreds of points,
+   microseconds each, no solves.
+2. **Probe refinement** — the top analytic candidates (plus the full
+   all-flags × t' column and the paper's default configuration, so the
+   measured set always contains the expected winner) are *actually
+   solved* on a small replica input: same graph family, same m/n
+   density, generated from a fixed seed, on a machine whose cache and
+   per-call costs are scaled by the same factor as the input (the
+   calibrated-scaling invariance of :mod:`repro.core.calibration` —
+   modeled time is then ~linear in n, so the small-replica ranking is
+   the full-size ranking).
+
+The result is a :class:`TuningPlan`: every candidate with its predicted
+and (where probed) measured modeled time, ranked, with ``entries[0]``
+the selected configuration.  Plans are value objects — deterministic,
+JSON-serializable, cacheable (:mod:`repro.tuning.cache`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from ..core.optimizations import OptimizationFlags
+from ..errors import ConfigError
+from ..graph.edgelist import EdgeList
+from ..graph.generators import hybrid_graph, random_graph, with_random_weights
+from ..runtime.cost import ELEM_BYTES, CostModel
+from ..runtime.machine import MachineConfig, scaled_cache
+from ..scheduling.cache_model import best_tprime, tprime_candidates
+from .probes import MachineProfile, calibrate_profile, machine_fingerprint
+
+__all__ = [
+    "Workload",
+    "PlanEntry",
+    "TuningPlan",
+    "build_plan",
+    "predict_config_ms",
+    "expected_rounds",
+    "parse_opts_key",
+    "PROBE_N_CAP",
+    "PROBE_SEED",
+]
+
+#: Probe replicas never exceed this vertex count — large enough that the
+#: per-round volumes dwarf startup noise, small enough that a full probe
+#: sweep is ~a second of wall time.
+PROBE_N_CAP = 3000
+#: Seed for probe replica generation (fixed: plans must be deterministic).
+PROBE_SEED = 2010
+
+#: Fraction of a CC round's label requests that target the hot vertex 0
+#: once grafting has concentrated labels (what ``offload`` drops).  Used
+#: only for analytic ranking; probes measure the real skew.
+_HOT_FRACTION = 0.15
+#: Live-edge decay per round under ``compact`` (random/hybrid inputs
+#: settle roughly half their live edges per grafting round).
+_COMPACT_DECAY = 0.5
+#: Shiloach-Vishkin performs more, cheaper rounds than grafting; net
+#: modeled cost lands above the grafting solver by about this factor.
+_SV_ROUND_FACTOR = 1.35
+
+
+def parse_opts_key(key: str) -> OptimizationFlags:
+    """Inverse of :meth:`OptimizationFlags.key`."""
+    if key == "base":
+        return OptimizationFlags.none()
+    return OptimizationFlags.only(*key.split("+"))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What the tuner is planning for: algorithm × input shape.
+
+    ``graph_kind`` names the generator family (``random``, ``hybrid``,
+    ...); the planner probes on a small replica drawn from the same
+    family so skew characteristics (hub vertices, label concentration)
+    carry over.  Kinds without a registered generator fall back to
+    ``random`` at the same density.
+    """
+
+    kind: str  # "cc" | "mst"
+    n: int
+    m: int
+    graph_kind: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cc", "mst"):
+            raise ConfigError(f"workload kind must be 'cc' or 'mst', got {self.kind!r}")
+        if self.n < 1 or self.m < 0:
+            raise ConfigError(f"invalid workload sizes n={self.n}, m={self.m}")
+
+    def key(self) -> str:
+        return f"{self.kind}:{self.graph_kind}:n{self.n}:m{self.m}"
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One lattice point with its predicted (and maybe measured) cost.
+
+    ``predicted_ms`` comes from the analytic dry run; ``probed_ms`` from
+    an actual solve of the scaled replica, rescaled to the full input
+    size (``None`` when the entry was pruned before probing).  Both are
+    modeled milliseconds at the *full* workload size.
+    """
+
+    impl: str
+    opts_key: str
+    tprime: int
+    predicted_ms: float
+    probed_ms: Optional[float] = None
+
+    def opts(self) -> OptimizationFlags:
+        return parse_opts_key(self.opts_key)
+
+    @property
+    def best_ms(self) -> float:
+        return self.probed_ms if self.probed_ms is not None else self.predicted_ms
+
+    def config_label(self) -> str:
+        return f"{self.impl}/{self.opts_key}/t'={self.tprime}"
+
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """Ranked configurations for one machine × workload pair."""
+
+    machine_key: str
+    workload: Workload
+    probe_n: int
+    entries: tuple  # of PlanEntry, ranked best first
+    lattice_size: int = 0
+
+    @property
+    def selected(self) -> PlanEntry:
+        if not self.entries:
+            raise ConfigError("empty tuning plan")
+        return self.entries[0]
+
+    def probed(self) -> List[PlanEntry]:
+        return [e for e in self.entries if e.probed_ms is not None]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "machine_key": self.machine_key,
+            "kind": self.workload.kind,
+            "n": self.workload.n,
+            "m": self.workload.m,
+            "graph_kind": self.workload.graph_kind,
+            "probe_n": self.probe_n,
+            "lattice_size": self.lattice_size,
+            "entries": [
+                {
+                    "impl": e.impl,
+                    "opts": e.opts_key,
+                    "tprime": e.tprime,
+                    "predicted_ms": round(e.predicted_ms, 6),
+                    "probed_ms": None if e.probed_ms is None else round(e.probed_ms, 6),
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TuningPlan":
+        entries = tuple(
+            PlanEntry(
+                impl=item["impl"],
+                opts_key=item["opts"],
+                tprime=int(item["tprime"]),
+                predicted_ms=float(item["predicted_ms"]),
+                probed_ms=None if item["probed_ms"] is None else float(item["probed_ms"]),
+            )
+            for item in payload["entries"]
+        )
+        workload = Workload(
+            kind=payload["kind"],
+            n=int(payload["n"]),
+            m=int(payload["m"]),
+            graph_kind=payload["graph_kind"],
+        )
+        return cls(
+            machine_key=payload["machine_key"],
+            workload=workload,
+            probe_n=int(payload["probe_n"]),
+            entries=entries,
+            lattice_size=int(payload.get("lattice_size", 0)),
+        )
+
+    def summary_lines(self) -> List[str]:
+        sel = self.selected
+        lines = [
+            f"workload           : {self.workload.key()}",
+            f"searched lattice   : {self.lattice_size} configurations"
+            f" ({len(self.probed())} probe-measured at n={self.probe_n})",
+            f"selected           : {sel.config_label()}"
+            f" ({sel.best_ms:.3f} ms modeled)",
+        ]
+        return lines
+
+
+def expected_rounds(n: int) -> int:
+    """Round-count estimate for the grafting/Borůvka solvers.
+
+    Both halve the live structure per round in expectation; the constant
+    is irrelevant for ranking (it multiplies every configuration alike)
+    but keeps predicted times in a sane absolute range for the ``tune``
+    report.
+    """
+    return max(2, int(round(math.log2(max(n, 4)) / 2.0)))
+
+
+def _getd_round_s(
+    cost: CostModel,
+    machine: MachineConfig,
+    total_requests: float,
+    n: int,
+    opts: OptimizationFlags,
+    tprime: int,
+    hot_fraction: float,
+    pay_ids: bool,
+) -> float:
+    """Modeled seconds of one GetD-shaped collective moving
+    ``total_requests`` elements, with uniform per-thread traffic plus a
+    single hot owner receiving ``hot_fraction`` of everything (the
+    label-concentration hotspot ``offload`` defuses).
+
+    Mirrors the charge sequence of :func:`repro.collectives.getd.getd`
+    phase by phase, with per-thread counts replaced by their uniform
+    expectation — a price list, not a simulation.
+    """
+    s = machine.total_threads
+    t = machine.threads_per_node
+    if total_requests <= 0:
+        return cost.barrier_time()
+    hot = hot_fraction if s > 1 else 0.0
+    kept = total_requests * (1.0 - hot) if opts.offload else total_requests
+    q = kept / s  # per-thread request count
+
+    # Owner-id computation + the offload compare pass.
+    work = float(cost.op_time(q)) if pay_ids and opts.ids else 0.0
+    if not opts.ids:
+        work = float(cost.intrinsic_id_time(q))
+    if opts.offload:
+        work += float(cost.op_time(total_requests / s))
+
+    sort = float(cost.count_sort_time(q, s))
+    setup = float(cost.alltoall_setup_time(s))
+
+    # Serve phase: the hot owner's received count dominates the phase
+    # (clocks advance to the max thread); without offload it serves its
+    # uniform share plus the entire hot stream.
+    block = max(1.0, n / s)
+    recv_hot = q if opts.offload else q + total_requests * hot
+
+    def serve(recv: float) -> float:
+        if recv <= 0:
+            return 0.0
+        total = float(cost.virtual_scan_time(recv, tprime)) if tprime > 1 else 0.0
+        distinct = min(recv, block)
+        ws = cost.distinct_working_set(distinct, block * ELEM_BYTES, tprime)
+        total += float(cost.gather_time(recv, distinct, ws, mlp=cost.GATHER_MLP))
+        if not opts.localcpy:
+            total += float(cost.op_time(recv * machine.cpu.upc_deref_factor))
+        return total
+
+    serve_s = max(serve(q), serve(recv_hot))
+
+    # Bulk transfers: remote share of each owner's payload, one message
+    # per off-node peer, node-serialized (t threads share the NIC).
+    remote_frac = (s - t) / s if s > 1 else 0.0
+    rem_elems = max(recv_hot, q) * remote_frac
+    rem_msgs = max(s - t, 0)
+    comm = float(
+        cost.bulk_transfer_time(
+            rem_elems, rem_msgs, rdma=opts.rdma, linear_order=not opts.circular
+        )
+    )
+    comm *= min(t, s)
+    # Same-node peer + self copies.
+    local_elems = max(recv_hot, q) * (1.0 - remote_frac)
+    copy = float(cost.seq_access_time(local_elems))
+
+    permute = float(cost.grouped_permute_time(q))
+    return work + sort + setup + serve_s + comm + copy + permute + cost.barrier_time()
+
+
+def predict_config_ms(
+    workload: Workload,
+    machine: MachineConfig,
+    impl: str,
+    opts: OptimizationFlags,
+    tprime: int,
+) -> float:
+    """Analytic modeled milliseconds of one full solve.
+
+    Deliberately coarse — synthetic uniform traffic, an estimated round
+    count, a fixed hot fraction — but built from the same cost-model
+    price list the collectives charge, so it ranks the lattice well
+    enough to choose probe candidates (the probe stage measures the
+    survivors exactly).
+    """
+    cost = CostModel(machine)
+    s = machine.total_threads
+    n, m = workload.n, workload.m
+    rounds = expected_rounds(n)
+
+    if impl == "naive":
+        # Fine-grained translation: every edge endpoint is its own
+        # blocking remote access, occupancy node-serialized.
+        per_round = 2.0 * m / s
+        blocking = float(cost.fine_grained_blocking_time(per_round))
+        occupancy = float(cost.fine_grained_occupancy_time(per_round))
+        occupancy *= min(machine.threads_per_node, s)
+        return (rounds * (blocking + occupancy + cost.barrier_time())) * 1e3
+
+    total = 0.0
+    live = float(m)
+    hot = _HOT_FRACTION if workload.kind == "cc" else 0.0
+    # MST hard-disables offload (the D[0] invariant fails for Boruvka).
+    eff = opts.with_(offload=False) if workload.kind == "mst" else opts
+    for r in range(rounds):
+        # With `ids` the owner buffers are cached across rounds unless
+        # compact rebuilt the request lists.
+        pay_ids = r == 0 or eff.compact
+        # Label fetches on the live edge lists (du/dv + root checks for
+        # CC; du/dv + the SetDMin bids for MST).
+        edge_collectives = 4 if workload.kind == "cc" else 3
+        total += edge_collectives * _getd_round_s(
+            cost, machine, live, n, eff, tprime, hot, pay_ids
+        )
+        if eff.compact:
+            total += float(cost.op_time(live / s))  # the keep-mask pass
+            live *= _COMPACT_DECAY
+        # Pointer jumping: two collective rounds over the n labels (jump
+        # requests never benefit from offload's hot-drop in MST either).
+        jump_opts = eff.with_(offload=False) if workload.kind == "mst" else eff
+        total += 2.0 * _getd_round_s(cost, machine, float(n), n, jump_opts, tprime, hot, False)
+        total += cost.allreduce_time()
+
+    if impl == "sv":
+        total *= _SV_ROUND_FACTOR
+    return total * 1e3
+
+
+# -- probe refinement ---------------------------------------------------------
+
+_GENERATORS: Dict[str, Callable[[int, int, int], EdgeList]] = {
+    "random": random_graph,
+    "hybrid": hybrid_graph,
+}
+
+
+def _probe_graph(workload: Workload, probe_n: int) -> EdgeList:
+    """Small same-family replica: same m/n density, fixed seed."""
+    density = workload.m / max(workload.n, 1)
+    probe_m = max(probe_n, int(round(density * probe_n)))
+    gen = _GENERATORS.get(workload.graph_kind, random_graph)
+    g = gen(probe_n, probe_m, PROBE_SEED)
+    if workload.kind == "mst":
+        g = with_random_weights(g, seed=PROBE_SEED)
+    return g
+
+
+def _probe_machine(machine: MachineConfig, f: float) -> MachineConfig:
+    """Scale a machine for a probe input shrunk by factor ``f``.
+
+    Scales cache AND multiplies the existing ``per_call_scale`` —
+    ``machine`` may itself already be calibrated for the full input
+    (``machine_for_input`` *replaces* per_call_scale, which would undo
+    that calibration here).
+    """
+    if f >= 1.0:
+        return machine
+    return scaled_cache(machine, f).with_(per_call_scale=machine.per_call_scale * f)
+
+
+def _probe_solve_ms(
+    workload: Workload,
+    graph: EdgeList,
+    machine: MachineConfig,
+    impl: str,
+    opts: OptimizationFlags,
+    tprime: int,
+) -> float:
+    """Actually solve the probe replica; modeled ms on the probe machine."""
+    # Imported here: pipeline imports the tuning package for auto mode.
+    from ..core.pipeline import connected_components, minimum_spanning_forest
+
+    if workload.kind == "cc":
+        result = connected_components(graph, machine, impl=impl, opts=opts, tprime=tprime)
+    else:
+        result = minimum_spanning_forest(graph, machine, impl=impl, opts=opts, tprime=tprime)
+    return result.info.sim_time_ms
+
+
+def _impl_candidates(kind: str) -> tuple:
+    # `sv` stays a candidate for CC (the predictor prices its extra
+    # rounds); `naive` is priced for the tune report but never probed —
+    # the measured coalescing gain already rules it out analytically.
+    return ("collective", "sv") if kind == "cc" else ("collective",)
+
+
+def build_plan(
+    workload: Workload,
+    machine: MachineConfig,
+    profile: Optional[MachineProfile] = None,
+    probe: bool = True,
+    analytic_top_k: int = 6,
+    probe_n_cap: int = PROBE_N_CAP,
+) -> TuningPlan:
+    """Search the configuration lattice for ``workload`` on ``machine``.
+
+    With ``probe=False`` only the analytic stage runs (instant; the
+    ranking is approximate).  Deterministic either way.
+    """
+    if profile is None:
+        profile = calibrate_profile(machine)
+    cost = CostModel(machine)
+    block_elems = max(1, workload.n // machine.total_threads)
+    tprimes = tprime_candidates(block_elems, cost)
+
+    entries: List[PlanEntry] = []
+    for impl in _impl_candidates(workload.kind):
+        for opts in OptimizationFlags.lattice():
+            if workload.kind == "mst" and opts.offload:
+                # The MST solver refuses offload (the D[0] invariant it
+                # relies on fails for Boruvka), so offload-on lattice
+                # points would duplicate their offload-off twins under
+                # dishonest labels.  Search the honest half only.
+                continue
+            for tp in tprimes:
+                entries.append(
+                    PlanEntry(
+                        impl=impl,
+                        opts_key=opts.key(),
+                        tprime=tp,
+                        predicted_ms=predict_config_ms(workload, machine, impl, opts, tp),
+                    )
+                )
+    # The naive translation, priced for the report (one row per t' would
+    # be noise: flags and t' don't apply to it).
+    entries.append(
+        PlanEntry(
+            impl="naive",
+            opts_key="base",
+            tprime=1,
+            predicted_ms=predict_config_ms(
+                workload, machine, "naive", OptimizationFlags.none(), 1
+            ),
+        )
+    )
+    lattice_size = len(entries)
+    entries.sort(key=lambda e: (e.predicted_ms, e.impl, e.opts_key, e.tprime))
+
+    probe_n = min(workload.n, probe_n_cap)
+    if probe:
+        # Probe set: analytic top-k, the full all-flags t' column (flag
+        # monotonicity makes all-flags the expected winner; t' is where
+        # the analytic model is least trusted), and the paper's default.
+        all_flags = OptimizationFlags.all()
+        if workload.kind == "mst":
+            all_flags = all_flags.with_(offload=False)
+        all_key = all_flags.key()
+        chosen: Dict[tuple, PlanEntry] = {}
+
+        def consider(entry: PlanEntry) -> None:
+            chosen.setdefault((entry.impl, entry.opts_key, entry.tprime), entry)
+
+        for entry in entries[:analytic_top_k]:
+            if entry.impl != "naive":
+                consider(entry)
+        by_config = {(e.impl, e.opts_key, e.tprime): e for e in entries}
+        for tp in tprimes:
+            consider(by_config[("collective", all_key, tp)])
+        default = by_config.get(("collective", all_key, 2))
+        if default is None:
+            default = PlanEntry(
+                impl="collective",
+                opts_key=all_key,
+                tprime=2,
+                predicted_ms=predict_config_ms(
+                    workload, machine, "collective", all_flags, 2
+                ),
+            )
+        consider(default)
+
+        f = probe_n / workload.n
+        graph = _probe_graph(workload, probe_n)
+        pmachine = _probe_machine(machine, f)
+        measured: Dict[tuple, PlanEntry] = {}
+        for key, entry in chosen.items():
+            ms = _probe_solve_ms(
+                workload, graph, pmachine, entry.impl, entry.opts(), entry.tprime
+            )
+            measured[key] = replace(entry, probed_ms=ms / f)
+        entries = [measured.get((e.impl, e.opts_key, e.tprime), e) for e in entries]
+        entries.sort(
+            key=lambda e: (
+                e.probed_ms is None,  # probed entries rank first...
+                e.best_ms,            # ...by measurement; rest by prediction
+                e.impl,
+                e.opts_key,
+                e.tprime,
+            )
+        )
+
+    return TuningPlan(
+        machine_key=machine_fingerprint(machine),
+        workload=workload,
+        probe_n=probe_n,
+        entries=tuple(entries),
+        lattice_size=lattice_size,
+    )
+
+
+def plan_block_elems(workload: Workload, machine: MachineConfig) -> int:
+    return max(1, workload.n // machine.total_threads)
+
+
+def default_tprime(workload: Workload, machine: MachineConfig) -> int:
+    """The cache-fit t' (what ``--tprime auto`` resolves to without a
+    full plan)."""
+    return best_tprime(plan_block_elems(workload, machine), CostModel(machine))
+
+
+# Exported under stable names for the benchmarks and tests that need to
+# scale machines / build replicas exactly the way the planner does.
+probe_machine_for = _probe_machine
+probe_graph_for = _probe_graph

@@ -36,6 +36,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cc", "--impl", "magic"])
 
+    def test_tprime_auto_accepted(self):
+        args = build_parser().parse_args(["cc", "--tprime", "auto"])
+        assert args.tprime == "auto"
+
+    def test_tprime_int_accepted(self):
+        args = build_parser().parse_args(["cc", "--tprime", "4"])
+        assert args.tprime == 4
+
+    def test_tprime_rejects_junk(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cc", "--tprime", "junk"])
+
+    def test_tprime_rejects_nonpositive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cc", "--tprime", "0"])
+
 
 class TestCommands:
     def test_cc_runs(self, capsys):
@@ -99,6 +115,17 @@ class TestCommands:
     def test_bad_opts(self):
         with pytest.raises(SystemExit):
             main(["cc", "--n", "1000", "--machine", "4x2", "--opts", "warp"])
+
+    def test_bad_machine_shape_separator(self):
+        with pytest.raises(SystemExit):
+            main(["cc", "--n", "1000", "--machine", "16y8"])
+
+    def test_opts_auto_rejects_hierarchical(self):
+        with pytest.raises(SystemExit):
+            main([
+                "cc", "--n", "1000", "--machine", "4x2",
+                "--opts", "auto", "--hierarchical",
+            ])
 
     def test_cc_with_fault_flags(self, capsys):
         assert main([
@@ -185,6 +212,71 @@ class TestFailurePaths:
         proc = run_cli("cc", "--n", "1000", "--machine", "2x2")
         assert proc.returncode == 0
         assert "components:" in proc.stdout
+
+
+class TestAutoMode:
+    """``--impl/--opts/--tprime auto`` and the ``tune`` command."""
+
+    @pytest.fixture(autouse=True)
+    def scratch_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "tune_cache.json"))
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "bench"))
+
+    def test_cc_full_auto(self, capsys):
+        assert main([
+            "cc", "--n", "2000", "--machine", "4x2", "--validate",
+            "--impl", "auto", "--opts", "auto", "--tprime", "auto",
+        ]) == 0
+        assert "components:" in capsys.readouterr().out
+
+    def test_mst_full_auto(self, capsys):
+        assert main([
+            "mst", "--n", "2000", "--machine", "4x2", "--validate",
+            "--impl", "auto", "--opts", "auto", "--tprime", "auto",
+        ]) == 0
+        assert "total weight" in capsys.readouterr().out
+
+    def test_tprime_auto_alone(self, capsys):
+        assert main(["cc", "--n", "2000", "--machine", "4x2", "--tprime", "auto"]) == 0
+
+    def test_tune_cc(self, capsys):
+        assert main(["tune", "--n", "2000", "--machine", "4x2"]) == 0
+        out = capsys.readouterr().out
+        assert "machine profile:" in out
+        assert "measured ms" in out
+        assert "selected:" in out
+        assert "auto    :" in out and "default :" in out
+
+    def test_tune_mst(self, capsys):
+        assert main(["tune", "--algo", "mst", "--n", "2000", "--machine", "4x2"]) == 0
+        out = capsys.readouterr().out
+        assert "selected:" in out
+        # The MST plan must never pick offload (D[0] invariant).
+        selected = next(ln for ln in out.splitlines() if ln.startswith("selected:"))
+        assert "offload" not in selected
+
+    def test_tune_then_info_shows_cached_plan(self, capsys):
+        assert main(["tune", "--n", "2000", "--machine", "4x2"]) == 0
+        capsys.readouterr()
+        assert main(["info", "--n", "2000", "--machine", "4x2"]) == 0
+        out = capsys.readouterr().out
+        assert "tuning-plan cache" in out
+        assert "cc: selected" in out
+        assert "mst: no cached plan" in out
+
+    def test_info_without_plans(self, capsys):
+        assert main(["info", "--n", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "fine-grained" in out
+        assert "tuning-plan cache" in out
+        assert "no cached plan" in out
+
+    def test_tune_cache_round_trips(self, capsys, tmp_path):
+        assert main(["tune", "--n", "2000", "--machine", "4x2"]) == 0
+        first = (tmp_path / "tune_cache.json").read_bytes()
+        capsys.readouterr()
+        assert main(["tune", "--n", "2000", "--machine", "4x2"]) == 0
+        assert (tmp_path / "tune_cache.json").read_bytes() == first
 
 
 class TestBfsCommand:

@@ -1,0 +1,417 @@
+"""Tests for the repro.tuning autotuner: probes, planner, cache, adapter.
+
+The headline acceptance test mirrors the paper's Fig. 5/6 setting
+(random and hybrid inputs, the 16x8 machine): the ``auto`` plan's
+modeled time must land within 5% of the *exhaustive* best over the full
+flag-lattice × t' grid, and must never lose to the paper's hand-picked
+default (all flags, t'=2).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cc.collective import solve_cc_collective
+from repro.core import OptimizationFlags, cluster_for_input, connected_components
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import hybrid_graph, random_graph, with_random_weights
+from repro.mst.collective import solve_mst_collective
+from repro.runtime.cost import CostModel
+from repro.runtime.profiling import RoundWindow
+from repro.scheduling.cache_model import best_tprime, tprime_candidates
+from repro.tuning import (
+    AdapterConfig,
+    OnlineAdapter,
+    PlanCache,
+    TuningPlan,
+    Workload,
+    autotune,
+    build_plan,
+    calibrate_profile,
+    machine_fingerprint,
+    parse_opts_key,
+    predict_config_ms,
+)
+from repro.tuning.planner import probe_machine_for
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: auto vs the exhaustive lattice (Fig. 5/6 configurations)
+# ---------------------------------------------------------------------------
+
+ACC_N = 1500
+ACC_M = 4 * ACC_N
+
+
+def _exhaustive_best(g, machine):
+    cands = tprime_candidates(max(1, ACC_N // machine.total_threads), CostModel(machine))
+    best_ms, best_cfg = float("inf"), None
+    for opts in OptimizationFlags.lattice():
+        for tp in cands:
+            ms = connected_components(g, machine, opts=opts, tprime=tp).info.sim_time_ms
+            if ms < best_ms:
+                best_ms, best_cfg = ms, (opts.key(), tp)
+    return best_ms, best_cfg
+
+
+@pytest.mark.parametrize("kind", ["random", "hybrid"])
+def test_auto_within_5pct_of_exhaustive(kind, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "cache.json"))
+    gen = random_graph if kind == "random" else hybrid_graph
+    g = gen(ACC_N, ACC_M, seed=11)
+    machine = cluster_for_input(ACC_N, 16, 8)
+
+    best_ms, best_cfg = _exhaustive_best(g, machine)
+    auto = connected_components(
+        g, machine, impl="auto", opts="auto", tprime="auto", graph_kind=kind
+    )
+    default = connected_components(g, machine, opts=OptimizationFlags.all(), tprime=2)
+
+    auto_ms = auto.info.sim_time_ms
+    assert auto_ms <= 1.05 * best_ms, (
+        f"{kind}: auto {auto_ms:.3f} ms not within 5% of exhaustive best"
+        f" {best_ms:.3f} ms at {best_cfg}"
+    )
+    assert auto_ms <= default.info.sim_time_ms * 1.001, (
+        f"{kind}: auto {auto_ms:.3f} ms slower than the all-flags/t'=2 default"
+        f" {default.info.sim_time_ms:.3f} ms"
+    )
+    # Correctness never depends on the tuner: same labeling as the default.
+    assert np.array_equal(np.unique(auto.labels), np.unique(default.labels))
+
+
+# ---------------------------------------------------------------------------
+# Planner pieces
+# ---------------------------------------------------------------------------
+
+
+class TestWorkload:
+    def test_key(self):
+        w = Workload(kind="cc", n=2000, m=8000, graph_kind="hybrid")
+        assert w.key() == "cc:hybrid:n2000:m8000"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            Workload(kind="bfs", n=100, m=100)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ConfigError):
+            Workload(kind="cc", n=0, m=0)
+
+
+class TestParseOptsKey:
+    def test_roundtrip_whole_lattice(self):
+        for opts in OptimizationFlags.lattice():
+            assert parse_opts_key(opts.key()) == opts
+
+    def test_base(self):
+        assert parse_opts_key("base") == OptimizationFlags.none()
+
+    def test_rejects_unknown_flag(self):
+        with pytest.raises(ConfigError):
+            parse_opts_key("warp")
+
+
+class TestAnalyticModel:
+    def test_naive_predicted_slowest(self):
+        machine = cluster_for_input(20_000, 16, 8)
+        w = Workload(kind="cc", n=20_000, m=80_000)
+        naive = predict_config_ms(w, machine, "naive", OptimizationFlags.none(), 1)
+        coll = predict_config_ms(w, machine, "collective", OptimizationFlags.all(), 2)
+        assert naive > 5 * coll
+
+    def test_prediction_grows_with_n(self):
+        machine = cluster_for_input(20_000, 16, 8)
+        small = predict_config_ms(
+            Workload(kind="cc", n=10_000, m=40_000), machine, "collective",
+            OptimizationFlags.all(), 2,
+        )
+        large = predict_config_ms(
+            Workload(kind="cc", n=80_000, m=320_000), machine, "collective",
+            OptimizationFlags.all(), 2,
+        )
+        assert large > small > 0
+
+    def test_probe_machine_preserves_calibration(self):
+        machine = cluster_for_input(20_000, 4, 2)
+        scaled = probe_machine_for(machine, 0.25)
+        # Replica machine must COMPOSE with the base calibration, not
+        # replace it: per-call costs shrink by exactly the replica factor.
+        assert scaled.per_call_scale == pytest.approx(machine.per_call_scale * 0.25)
+
+
+class TestBuildPlan:
+    def test_probed_entries_ranked_first(self):
+        machine = cluster_for_input(1200, 4, 2)
+        plan = build_plan(Workload(kind="cc", n=1200, m=4800), machine)
+        probed = plan.probed()
+        assert probed and probed[0] is plan.entries[0]
+        ms = [e.probed_ms for e in probed]
+        assert ms == sorted(ms)
+        assert plan.selected.probed_ms is not None
+
+    def test_analytic_only_plan(self):
+        machine = cluster_for_input(1200, 4, 2)
+        plan = build_plan(Workload(kind="cc", n=1200, m=4800), machine, probe=False)
+        assert plan.probed() == []
+        assert plan.selected.predicted_ms > 0
+
+    def test_mst_plan_never_contains_offload(self):
+        machine = cluster_for_input(1200, 4, 2)
+        plan = build_plan(
+            Workload(kind="mst", n=1200, m=4800), machine, probe=False
+        )
+        assert plan.selected.impl == "collective"
+        # The MST solver refuses offload (D[0] invariant); the plan must
+        # not pretend to search it.
+        assert all("offload" not in e.opts_key for e in plan.entries)
+
+
+# ---------------------------------------------------------------------------
+# Probes
+# ---------------------------------------------------------------------------
+
+
+class TestProbes:
+    def test_profile_fields_positive(self):
+        machine = cluster_for_input(20_000, 4, 2)
+        prof = calibrate_profile(machine)
+        assert prof.fine_access_us > 0
+        assert prof.coalesced_elem_ns > 0
+        assert prof.barrier_us > 0
+        assert prof.cache_crossover_bytes > 0
+        # Coalescing must measure as a win — it is the paper's premise.
+        assert prof.coalescing_gain > 1
+
+    def test_profile_roundtrip_and_summary(self):
+        machine = cluster_for_input(20_000, 4, 2)
+        prof = calibrate_profile(machine)
+        clone = type(prof).from_dict(prof.to_dict())
+        assert clone == prof
+        assert any("fine-grained" in line for line in prof.summary_lines())
+
+    def test_fingerprint_ignores_name(self):
+        machine = cluster_for_input(20_000, 4, 2)
+        assert machine_fingerprint(machine) == machine_fingerprint(
+            machine.with_(name="renamed")
+        )
+        assert machine_fingerprint(machine) != machine_fingerprint(
+            machine.with_(per_call_scale=machine.per_call_scale * 2)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+def _small_setup():
+    machine = cluster_for_input(800, 4, 2)
+    workload = Workload(kind="cc", n=800, m=3200)
+    return machine, workload
+
+
+class TestPlanCache:
+    def test_save_is_byte_deterministic(self, tmp_path):
+        machine, workload = _small_setup()
+        plan_a = build_plan(workload, machine)
+        plan_b = build_plan(workload, machine)
+        assert plan_a.to_dict() == plan_b.to_dict()
+
+        cache_a = PlanCache(tmp_path / "a.json")
+        cache_a.put(machine, workload, plan_a)
+        cache_b = PlanCache(tmp_path / "b.json")
+        cache_b.put(machine, workload, plan_b)
+        assert cache_a.save().read_bytes() == cache_b.save().read_bytes()
+
+    def test_round_trip(self, tmp_path):
+        machine, workload = _small_setup()
+        plan = build_plan(workload, machine, probe=False)
+        cache = PlanCache(tmp_path / "c.json")
+        cache.put(machine, workload, plan)
+        cache.save()
+        reloaded = PlanCache(tmp_path / "c.json").get(machine, workload)
+        assert reloaded is not None
+        assert reloaded.to_dict() == plan.to_dict()
+        assert reloaded.selected.config_label() == plan.selected.config_label()
+
+    def test_corrupt_cache_starts_empty_and_recovers(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{ this is not json")
+        cache = PlanCache(path)
+        assert len(cache) == 0
+        machine, workload = _small_setup()
+        plan = autotune(workload, machine, cache=cache)  # rebuilds, then saves
+        assert plan.selected is not None
+        assert PlanCache(path).get(machine, workload) is not None
+
+    def test_stale_schema_ignored(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"schema": 999, "plans": {"x": {}}}))
+        assert len(PlanCache(path)) == 0
+
+    def test_bad_record_does_not_poison_the_rest(self, tmp_path):
+        machine, workload = _small_setup()
+        plan = build_plan(workload, machine, probe=False)
+        cache = PlanCache(tmp_path / "c.json")
+        cache.put(machine, workload, plan)
+        path = cache.save()
+        payload = json.loads(path.read_text())
+        payload["plans"]["bogus-key"] = {"not": "a plan"}
+        path.write_text(json.dumps(payload))
+        reloaded = PlanCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(machine, workload) is not None
+
+    def test_hand_edited_key_mismatch_rejected(self, tmp_path):
+        machine, workload = _small_setup()
+        plan = build_plan(workload, machine, probe=False)
+        cache = PlanCache(tmp_path / "c.json")
+        cache.put(machine, workload, plan)
+        path = cache.save()
+        other = Workload(kind="cc", n=800, m=9999)
+        payload = json.loads(path.read_text())
+        ((key, entry),) = payload["plans"].items()
+        payload["plans"] = {key.replace(workload.key(), other.key()): entry}
+        path.write_text(json.dumps(payload))
+        # The stored plan describes `workload`, not `other`: reject it.
+        assert PlanCache(path).get(machine, other) is None
+
+    def test_autotune_cache_hit_skips_rebuild(self, tmp_path, monkeypatch):
+        import repro.tuning as tuning
+
+        machine, workload = _small_setup()
+        cache_path = tmp_path / "c.json"
+        plan = autotune(workload, machine, cache=PlanCache(cache_path))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit must not rebuild the plan")
+
+        monkeypatch.setattr(tuning, "build_plan", boom)
+        again = tuning.autotune(workload, machine, cache=PlanCache(cache_path))
+        assert again.to_dict() == plan.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Online adapter
+# ---------------------------------------------------------------------------
+
+
+def _star(n):
+    """Hub-and-spokes: every edge touches vertex 0, so one owner thread
+    serves essentially all label requests — the offload hotspot."""
+    return EdgeList(n, np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64))
+
+
+class TestOnlineAdapter:
+    def test_hotspot_rule_enables_offload_cc(self):
+        n = 4096
+        g = _star(n)
+        machine = cluster_for_input(n, 8, 4)
+        adapter = OnlineAdapter(machine, n)
+        base = solve_cc_collective(g, machine, OptimizationFlags.none(), 1)
+        adapted = solve_cc_collective(
+            g, machine, OptimizationFlags.none(), 1, adapter=adapter
+        )
+        # Adaptation is a performance knob: the labeling must not change.
+        assert np.array_equal(base.labels, adapted.labels)
+        assert any("enable offload" in d for d in adapter.decisions)
+        assert any(e.startswith("tuning:") for e in adapted.info.trace.events)
+        assert adapted.info.trace.counters.tuning_adaptations >= 1
+
+    def test_mst_adapter_never_enables_offload(self):
+        n = 4096
+        g = with_random_weights(_star(n), 3)
+        machine = cluster_for_input(n, 8, 4)
+        adapter = OnlineAdapter(machine, n, allow_offload=False)
+        base = solve_mst_collective(g, machine, OptimizationFlags.none(), 1)
+        adapted = solve_mst_collective(
+            g, machine, OptimizationFlags.none(), 1, adapter=adapter
+        )
+        assert np.array_equal(base.edge_ids, adapted.edge_ids)
+        assert base.total_weight == adapted.total_weight
+        assert not any("offload" in d for d in adapter.decisions)
+
+    def _fed_adapter(self, windows, **config):
+        """An adapter detached from any runtime, fed synthetic windows."""
+        machine = cluster_for_input(20_000, 4, 2)
+        adapter = OnlineAdapter(machine, 20_000, config=AdapterConfig(**config))
+
+        class _Profiler:
+            def __init__(self, feed):
+                self.feed = list(feed)
+
+            def checkpoint(self):
+                return 0
+
+            def window_since(self, mark):
+                return self.feed.pop(0)
+
+        adapter._profiler = _Profiler(windows)
+        return adapter
+
+    @staticmethod
+    def _window(duration_s, wait=0.0):
+        return RoundWindow(
+            phases=3, duration_s=duration_s, requests=100,
+            max_wait_fraction=wait, hottest_thread=0,
+        )
+
+    def test_divergence_rule_steps_tprime_toward_target(self):
+        adapter = self._fed_adapter(
+            [self._window(1.0), self._window(5.0)], divergence=1.5
+        )
+        adapter.target_tprime = 5
+        opts = OptimizationFlags.all()
+        opts, tprime = adapter.on_round(opts, 1)  # warmup: sets the baseline
+        assert tprime == 1
+        opts, tprime = adapter.on_round(opts, tprime)  # 5x slower: diverged
+        assert 1 < tprime <= 5
+        assert any("t' 1 ->" in d for d in adapter.decisions)
+
+    def test_adaptation_budget_is_finite(self):
+        windows = [self._window(1.0 if i % 2 == 0 else 9.0) for i in range(20)]
+        adapter = self._fed_adapter(windows, max_adaptations=2)
+        adapter.target_tprime = 64
+        opts, tprime = OptimizationFlags.all(), 1
+        for _ in range(20):
+            opts, tprime = adapter.on_round(opts, tprime)
+        assert adapter.adaptations <= 2
+
+    def test_holds_still_on_healthy_rounds(self):
+        adapter = self._fed_adapter([self._window(1.0)] * 5)
+        opts, tprime = OptimizationFlags.all(), 2
+        adapter.target_tprime = 2
+        for _ in range(5):
+            opts, tprime = adapter.on_round(opts, tprime)
+        assert adapter.decisions == []
+        assert (opts, tprime) == (OptimizationFlags.all(), 2)
+
+
+# ---------------------------------------------------------------------------
+# t' search grid
+# ---------------------------------------------------------------------------
+
+
+class TestTprimeCandidates:
+    def test_contains_doubling_ladder_and_fit(self):
+        cm = CostModel(cluster_for_input(20_000, 16, 8))
+        block = 4 * cm.machine.cache.size_bytes // 8
+        fit = best_tprime(block, cm)
+        cands = tprime_candidates(block, cm)
+        assert set((1, 2, 4, 8, 16, 32, 64)) <= set(cands)
+        assert fit in cands and fit - 1 in cands
+        assert cands == tuple(sorted(cands))
+
+    def test_small_block_degenerates_to_ladder(self):
+        cm = CostModel(cluster_for_input(20_000, 16, 8))
+        cands = tprime_candidates(1, cm)
+        assert cands[0] == 1 and max(cands) <= 64
+
+    def test_never_fits_clamps_to_max(self):
+        cm = CostModel(cluster_for_input(20_000, 16, 8))
+        assert best_tprime(10**12, cm, max_tprime=32) == 32
+        assert max(tprime_candidates(10**12, cm, max_tprime=32)) == 32
+        assert all(1 <= t <= 32 for t in tprime_candidates(10**12, cm, max_tprime=32))
