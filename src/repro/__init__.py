@@ -31,6 +31,8 @@ Packages
 ``repro.mst``          minimum-spanning-forest implementations
 ``repro.core``         high-level API, optimization flags, analysis
 ``repro.analysis``     sanitizer suite: epoch race detector + static linter
+``repro.faults``       fault plans/injection: loss, stragglers, crashes, flips
+``repro.integrity``    silent-fault detection, verify-and-repair, soak harness
 ``repro.tuning``       autotuner: probes → plan (impl × flags × t') → adapt
 ``repro.bench``        experiment harness used by ``benchmarks/``
 """
@@ -60,11 +62,13 @@ from .errors import (
     DistributionError,
     FaultError,
     GraphError,
+    IntegrityError,
     ReproError,
     ThreadCrash,
     VerificationError,
 )
 from .faults import CrashEvent, FaultInjector, FaultPlan, NicDegradation, RetryPolicy
+from .integrity import IntegrityConfig, SoakConfig, run_soak
 from .graph import (
     EdgeList,
     hybrid_graph,
@@ -111,6 +115,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "GraphError",
+    "IntegrityConfig",
+    "IntegrityError",
     "MSTResult",
     "MST_IMPLS",
     "MachineConfig",
@@ -124,6 +130,7 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "SharedArray",
+    "SoakConfig",
     "SolveInfo",
     "ThreadCrash",
     "TuningPlan",
@@ -146,6 +153,7 @@ __all__ = [
     "random_graph",
     "render_phases",
     "run_lint",
+    "run_soak",
     "save_edgelist",
     "sequential_for_input",
     "sequential_machine",

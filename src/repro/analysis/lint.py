@@ -69,6 +69,7 @@ WHITELIST_PARTS = (
     "repro/analysis/",
     "repro/scheduling/",
     "repro/faults/",
+    "repro/integrity/",
 )
 
 #: Constructor / owner-affinity signals that mark a name as shared.
@@ -100,6 +101,17 @@ _CHARGING_FNS = {
     "getd",
     "setd",
     "setdmin",
+    # Integrity helpers: each charges digest/invariant passes internally
+    # (repro.integrity.monitor), so calling them counts as charging.
+    "protect_array",
+    "note_write",
+    "track",
+    "resync",
+    "verify_cc_round",
+    "verify_star_round",
+    "verify_mst_selection",
+    "guard_payload",
+    "poll_corruption",
 }
 
 #: Raw comm primitives (CM02) when invoked on an inferred shared array.

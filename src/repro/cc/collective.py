@@ -26,7 +26,7 @@ from ..collectives.getd import getd
 from ..collectives.setd import setd
 from ..core.optimizations import OptimizationFlags
 from ..core.results import CCResult, SolveInfo
-from ..errors import ThreadCrash
+from ..errors import FaultError, IntegrityError, ThreadCrash
 from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
@@ -85,6 +85,7 @@ def solve_cc_collective(
     sort_method: str = "count",
     faults=None,
     adapter=None,
+    integrity=None,
 ) -> CCResult:
     """Connected components via GetD/SetD collectives.
 
@@ -96,6 +97,12 @@ def solve_cc_collective(
     and the live edge partitions; an injected crash restores the last
     checkpoint and replays only the lost round.
 
+    ``integrity`` accepts an :class:`~repro.integrity.IntegrityConfig`
+    (or ``True`` for the full defense): the label array is checksummed
+    and invariant-verified, collective payloads are end-to-end checked,
+    and detected silent corruption is repaired by restoring the round
+    checkpoint and replaying — see ``docs/fault-model.md``.
+
     ``adapter`` accepts a :class:`~repro.tuning.OnlineAdapter`: after
     each grafting round it digests the round's phase records and may
     revise ``opts``/``tprime`` for the next round (performance knobs
@@ -104,7 +111,7 @@ def solve_cc_collective(
     """
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults)
+    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults, integrity=integrity)
     if adapter is not None:
         adapter.begin(rt)
     n = graph.n
@@ -114,19 +121,27 @@ def solve_cc_collective(
 
     ep = distribute_edges(graph, rt.s)
     u_part, v_part = ep.u, ep.v
-    d = rt.shared_array(np.arange(n, dtype=np.int64))
+    d = rt.shared_array(np.arange(n, dtype=np.int64), name="cc.d")
+    rt.protect_array(d)
     vert_offsets = _local_label_offsets(d)
     ctx = CollectiveContext()
 
-    ck = RoundCheckpointer(rt)
+    # Verify-and-repair needs the checkpoint even with a crash-free plan.
+    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    repairs = 0
+    repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
     iteration = 0
     while True:
         iteration += 1
         # Recomputed per round: the adapter may have flipped `offload`.
         hot = 0 if opts.offload else None
         check_converged(iteration, n, "cc-collective grafting")
-        ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
         try:
+            # Round-top invariants run BEFORE the save so the checkpoint
+            # only ever holds invariant-clean state to restore into.
+            if rt.integrity is not None:
+                rt.integrity.verify_cc_round(d)
+            ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
             rt.counters.add(iterations=1)
 
             du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
@@ -167,11 +182,21 @@ def solve_cc_collective(
                     # must not serve buffers for the old request lists.
                     ctx.invalidate()
                 opts = new_opts
-        except ThreadCrash:
+        except (ThreadCrash, IntegrityError) as fault:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
             d.data[:] = state["d"]
             u_part, v_part = state["u_part"], state["v_part"]
+            if rt.integrity is not None:
+                rt.integrity.resync(d)
+            if isinstance(fault, IntegrityError):
+                rt.counters.add(repairs=1)
+                repairs += 1
+                if repairs > repair_bound:
+                    raise FaultError(
+                        f"cc-collective gave up after {repairs} integrity repairs"
+                        " (corruption rate exceeds what replay can absorb)"
+                    ) from fault
             ctx.invalidate()
             iteration -= 1
             continue

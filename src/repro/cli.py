@@ -9,6 +9,8 @@ Commands
 ``info``      show machine presets, calibration, and any cached tuning plan
 ``figures``   run paper-figure reproductions and print their tables
 ``tune``      run the autotuner and print its predicted-vs-measured table
+``soak``      composed chaos campaign: silent corruption + fail-stop faults,
+              every result networkx-verified, report in ``BENCH_soak.json``
 
 Every solve prints the result summary, the modeled time, the Fig. 5
 category breakdown, and the communication counters.  All inputs are
@@ -92,7 +94,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="number of straggler threads (4x slowdown); cc/mst only",
     )
     parser.add_argument(
+        "--fault-corruption",
+        type=float,
+        default=0.0,
+        help="silent bit-flip rate in owner blocks (flips per element per"
+        " modeled second, e.g. 2e-2); cc/mst only",
+    )
+    parser.add_argument(
+        "--fault-payload-corruption",
+        type=float,
+        default=0.0,
+        help="per-record probability of an in-flight collective payload"
+        " flip (e.g. 1e-4); cc/mst only",
+    )
+    parser.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the fault plan's RNG"
+    )
+    parser.add_argument(
+        "--integrity",
+        action="store_true",
+        help="enable silent-fault detection and verify-and-repair"
+        " (checksummed blocks/payloads + invariant checks); cc/mst collective only",
     )
     parser.add_argument(
         "--analyze",
@@ -168,14 +190,23 @@ def _fault_plan(args: argparse.Namespace, machine):
         stragglers=args.fault_stragglers,
         seed=args.fault_seed,
         total_threads=machine.total_threads,
+        corruption=args.fault_corruption,
+        payload_corruption=args.fault_payload_corruption,
     )
 
 
 def _reject_fault_flags(args: argparse.Namespace, command: str) -> None:
     from .errors import ConfigError
 
-    if getattr(args, "fault_loss", 0.0) or getattr(args, "fault_stragglers", 0):
+    if (
+        getattr(args, "fault_loss", 0.0)
+        or getattr(args, "fault_stragglers", 0)
+        or getattr(args, "fault_corruption", 0.0)
+        or getattr(args, "fault_payload_corruption", 0.0)
+    ):
         raise ConfigError(f"fault injection is only supported for cc/mst, not {command}")
+    if getattr(args, "integrity", False):
+        raise ConfigError(f"integrity protection is only supported for cc/mst, not {command}")
 
 
 @contextlib.contextmanager
@@ -216,6 +247,11 @@ def _print_info(info: SolveInfo) -> None:
             f"faults  : {c.retries:,} retries / {c.crashes} crashes /"
             f" {c.checkpoint_restores} checkpoint restores"
         )
+    if c.corruptions_injected or c.corruptions_detected or c.repairs:
+        print(
+            f"silent  : {c.corruptions_injected} corruptions injected /"
+            f" {c.corruptions_detected} detected / {c.repairs} repairs"
+        )
     for event in info.trace.events:
         print(f"event   : {event}")
 
@@ -229,6 +265,7 @@ def _cmd_cc(args: argparse.Namespace) -> int:
         res = connected_components(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
+            integrity=True if args.integrity else None,
         )
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
@@ -244,6 +281,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
         res = minimum_spanning_forest(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
+            integrity=True if args.integrity else None,
         )
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
@@ -291,6 +329,52 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
           f" eccentricity {int(dist[reached].max())}; levels {info.iterations}")
     _print_info(info)
     return _sanitizer_exit(session)
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .integrity import SoakConfig, run_soak
+
+    try:
+        nodes_s, threads_s = args.machine.lower().split("x")
+        nodes, threads = int(nodes_s), int(threads_s)
+    except ValueError:
+        raise SystemExit(f"bad --machine {args.machine!r}: soak wants NODESxTHREADS (e.g. 16x8)")
+    config = SoakConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        algos=tuple(args.algo),
+        nodes=nodes,
+        threads=threads,
+        n=args.n,
+        m=int(args.density * args.n),
+        corruption=args.corruption,
+        payload_corruption=args.payload_corruption,
+        loss=args.loss,
+        stragglers=args.stragglers,
+        crashes=args.crashes,
+        unprotected=not args.no_unprotected,
+    )
+    print(banner(
+        f"soak — {args.iterations} iteration(s) x {'/'.join(config.algos)} on"
+        f" {nodes}x{threads}, n={config.n:,} m={config.m:,}"
+    ))
+    report = run_soak(config, out_dir=args.out_dir)
+    s = report["summary"]
+    print(f"\nruns      : {s['runs']} protected"
+          + (f" + {s['unprotected_runs']} unprotected" if s["unprotected_runs"] else ""))
+    print(f"injected  : {s['injected']} corruptions, {s['detected']} detected,"
+          f" {s['repairs']} repairs")
+    print(f"protected : {s['protected_wrong']} wrong, {s['protected_failed']} gave up")
+    if s["unprotected_runs"]:
+        print(f"unprotect : {s['unprotected_wrong_or_error']} wrong or errored"
+              " (the failure mode integrity closes)")
+    print(f"report    : {report['path']}")
+    bad = s["protected_wrong"] + s["protected_failed"]
+    if bad:
+        print(f"\nFAIL: {bad} protected run(s) did not survive", file=sys.stderr)
+        return 4
+    print("\nall protected runs verified against networkx")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -439,6 +523,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_lr)
     p_lr.add_argument("--impl", choices=("wyllie", "cgm", "sequential"), default="wyllie")
     p_lr.set_defaults(func=_cmd_listrank)
+
+    p_soak = sub.add_parser(
+        "soak", help="composed chaos/soak campaign (silent + fail-stop faults)"
+    )
+    p_soak.add_argument("--iterations", type=int, default=5)
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument(
+        "--algo", nargs="+", choices=("cc", "mst"), default=["cc", "mst"],
+        help="algorithms to soak (default: both)",
+    )
+    p_soak.add_argument("--machine", default="16x8", help="cluster shape NODESxTHREADS")
+    p_soak.add_argument("--n", type=int, default=2048, help="vertex count per iteration")
+    p_soak.add_argument("--density", type=float, default=4.0, help="edges per vertex (m/n)")
+    p_soak.add_argument(
+        "--corruption", type=float, default=2.0e-2,
+        help="owner-block flip rate (per element per modeled second)",
+    )
+    p_soak.add_argument(
+        "--payload-corruption", type=float, default=1.0e-4,
+        help="per-record in-flight payload flip probability",
+    )
+    p_soak.add_argument("--loss", type=float, default=0.0, help="per-message loss probability")
+    p_soak.add_argument("--stragglers", type=int, default=0, help="straggler threads (4x)")
+    p_soak.add_argument("--crashes", type=int, default=0, help="scheduled crashes per run")
+    p_soak.add_argument(
+        "--no-unprotected", action="store_true",
+        help="skip the unprotected comparison legs (protected runs only)",
+    )
+    p_soak.add_argument("--out-dir", default=None, help="directory for BENCH_soak.json")
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_info = sub.add_parser("info", help="machine presets and calibration")
     p_info.add_argument("--n", type=int, default=100_000)

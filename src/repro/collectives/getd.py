@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.optimizations import OptimizationFlags
 from ..errors import CollectiveError
+from ..integrity.monitor import guard_payload
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
 from ..runtime.shared_array import SharedArray
@@ -303,6 +304,12 @@ def getd(
 
     rt.phase_end(f"getd[{cache_key or 'dyn'}]", indices.total, _profile_before)
     served = array.gather(off.indices.data)
+    if rt.machine.nodes > 1:
+        # The owner -> requester wire leg: may suffer (seeded) silent
+        # payload flips, may be end-to-end checksummed — see guard_payload.
+        served = guard_payload(
+            rt, served, off.indices.sizes(), array.nbytes_per_elem, domain=array.size
+        )
     if off.dropped:
         return off.expand(served, hot_value)
     return served

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.optimizations import OptimizationFlags
 from ..errors import CollectiveError
+from ..integrity.monitor import guard_payload
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
 from ..runtime.shared_array import SharedArray
@@ -58,6 +59,7 @@ def _scatter_collective(
     hot_index: int,
     combine: str = "min",
     record_words: int = 2,
+    packed_payload: bool = False,
 ) -> int:
     if indices.parts != rt.s:
         raise CollectiveError(
@@ -111,11 +113,26 @@ def _scatter_collective(
         rt.barrier()
 
     rt.phase_end(f"setd[{cache_key or 'dyn'}]", indices.total, _profile_before)
+    if rt.machine.nodes > 1:
+        # The requester -> owner wire leg (indices travel checksummed in
+        # the same records; the value/key field is the corruptible part).
+        values = guard_payload(
+            rt,
+            values,
+            off.indices.sizes(),
+            record_words * array.nbytes_per_elem,
+            domain=array.size,
+            packed=packed_payload,
+        )
     if combine == "min":
-        return array.scatter_min(off.indices.data, values)
-    if combine == "store_min":
-        return array.scatter_store_min(off.indices.data, values)
-    raise CollectiveError(f"unknown combine mode {combine!r}; use 'min' or 'store_min'")
+        changed = array.scatter_min(off.indices.data, values)
+    elif combine == "store_min":
+        changed = array.scatter_store_min(off.indices.data, values)
+    else:
+        raise CollectiveError(f"unknown combine mode {combine!r}; use 'min' or 'store_min'")
+    if rt.integrity is not None:
+        rt.integrity.note_write(array, off.indices.data)
+    return changed
 
 
 def setd(
@@ -165,12 +182,16 @@ def setdmin(
     drop_hot: bool = False,
     hot_index: int = 0,
     record_words: int = 2,
+    packed_payload: bool = False,
 ) -> int:
     """Priority (minimum) concurrent write collective — the lock-free
     replacement for MST's per-supervertex locks.  ``record_words`` sizes
-    the shipped record (MST sends key + endpoints + edge id).  Returns
-    the number of locations whose value changed."""
+    the shipped record (MST sends key + endpoints + edge id);
+    ``packed_payload=True`` tells the silent-fault layer the values are
+    packed ``(weight << 32) | position`` keys, so injected wire flips
+    stay confined to the weight field (silent-wrong, never a crash).
+    Returns the number of locations whose value changed."""
     return _scatter_collective(
         rt, array, indices, values, opts, ctx, cache_key, tprime, sort_method,
-        drop_hot, hot_index, "min", record_words,
+        drop_hot, hot_index, "min", record_words, packed_payload,
     )

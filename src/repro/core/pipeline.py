@@ -114,6 +114,7 @@ def connected_components(
     faults=None,
     graph_kind: str = "random",
     adapt: bool = True,
+    integrity=None,
 ) -> CCResult:
     """Solve connected components on the simulated machine.
 
@@ -140,6 +141,10 @@ def connected_components(
     graph_kind, adapt:
         Auto-mode context: the generator family the tuner probes with,
         and whether the online adapter may revise flags/t' mid-solve.
+    integrity:
+        Optional :class:`~repro.integrity.IntegrityConfig` (or ``True``)
+        enabling silent-fault detection and verify-and-repair
+        (``collective`` impl only — it owns the checkpoint/replay loop).
     """
     impl, opts, tprime, adapter = _resolve_auto(
         "cc", graph, machine, impl, opts, tprime, graph_kind, adapt
@@ -149,9 +154,14 @@ def connected_components(
             f"fault injection is not supported for CC impl {impl!r};"
             " use 'collective', 'naive', or 'smp'"
         )
+    if integrity is not None and impl != "collective":
+        raise ConfigError(
+            f"integrity protection is not supported for CC impl {impl!r}; use 'collective'"
+        )
     if impl == "collective":
         result = solve_cc_collective(
-            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter
+            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter,
+            integrity=integrity,
         )
     elif impl == "sv":
         result = solve_cc_sv(graph, machine, opts, tprime, sort_method)
@@ -181,6 +191,7 @@ def minimum_spanning_forest(
     faults=None,
     graph_kind: str = "random",
     adapt: bool = True,
+    integrity=None,
 ) -> MSTResult:
     """Solve minimum spanning forest on the simulated machine.
 
@@ -193,6 +204,8 @@ def minimum_spanning_forest(
     (``collective``, ``naive``, ``smp``).  ``graph_kind``/``adapt`` are
     the auto-mode context (probe family; allow mid-solve adaptation —
     t' only for MST, offload adaptation is structurally disabled).
+    ``integrity`` optionally enables silent-fault detection and
+    verify-and-repair (``collective`` impl only).
     """
     impl, opts, tprime, adapter = _resolve_auto(
         "mst", graph, machine, impl, opts, tprime, graph_kind, adapt
@@ -202,9 +215,14 @@ def minimum_spanning_forest(
             f"fault injection is not supported for MST impl {impl!r};"
             " use 'collective', 'naive', or 'smp'"
         )
+    if integrity is not None and impl != "collective":
+        raise ConfigError(
+            f"integrity protection is not supported for MST impl {impl!r}; use 'collective'"
+        )
     if impl == "collective":
         result = solve_mst_collective(
-            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter
+            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter,
+            integrity=integrity,
         )
     elif impl == "naive":
         result = solve_mst_naive_upc(graph, machine, faults=faults)

@@ -16,6 +16,7 @@ __all__ = [
     "VerificationError",
     "FaultError",
     "ThreadCrash",
+    "IntegrityError",
 ]
 
 
@@ -81,3 +82,18 @@ class ThreadCrash(FaultError):
         self.thread = thread
         self.at_time = at_time
         self.recovery = recovery
+
+
+class IntegrityError(FaultError):
+    """Control-flow signal for detected silent data corruption.
+
+    Raised by the :mod:`repro.integrity` monitor when a checksum or an
+    algorithmic invariant catches a silently corrupted shared-array
+    block or collective payload.  Solvers with round checkpointing catch
+    it, restore the last clean checkpoint, and replay the damaged round;
+    solvers without repair let it propagate as a :class:`FaultError`.
+    """
+
+    def __init__(self, message: str, detected: int = 1) -> None:
+        super().__init__(message)
+        self.detected = int(detected)

@@ -8,8 +8,11 @@ deterministically (seeded ``numpy`` Generator, virtual-clock time only);
 :class:`RetryPolicy` prices lost messages (timeout + exponential backoff
 + retransmit, ``FaultError`` on exhaustion); and
 :class:`RoundCheckpointer` gives the iterative solvers crash-and-recover
-round replay.  See ``docs/fault-model.md`` for the full taxonomy and the
-determinism guarantees.
+round replay.  Silent faults — owner-block bit flips and in-flight
+payload corruption (``corruption``/``payload_corruption`` plan fields) —
+are injected here too; their detection and repair live in
+:mod:`repro.integrity`.  See ``docs/fault-model.md`` for the full
+taxonomy and the determinism guarantees.
 """
 
 from ..errors import FaultError, ThreadCrash

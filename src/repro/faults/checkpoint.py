@@ -9,9 +9,11 @@ of aborting, at the cost of one streamed pass per round to write the
 checkpoint (charged to the ``Fault`` trace category, so fault-tolerance
 overhead is visible in the breakdown).
 
-Checkpointing engages only when the active plan schedules crashes; with
-a crash-free plan (or no plan) ``save``/``restore`` are no-ops and the
-run's modeled time is untouched.
+By default checkpointing engages only when the active plan schedules
+crashes; with a crash-free plan (or no plan) ``save``/``restore`` are
+no-ops and the run's modeled time is untouched.  Callers that need
+protection without scheduled crashes — the :mod:`repro.integrity`
+verify-and-repair path — pass ``enabled=True`` explicitly.
 """
 
 from __future__ import annotations
@@ -36,9 +38,12 @@ class RoundCheckpointer:
     solvers rebind but never mutate).
     """
 
-    def __init__(self, rt) -> None:
+    def __init__(self, rt, enabled: "bool | None" = None) -> None:
         self.rt = rt
-        self.enabled = rt.faults is not None and rt.faults.plan.has_crashes
+        if enabled is None:
+            # Default: engage exactly when the plan can crash a thread.
+            enabled = rt.faults is not None and rt.faults.plan.has_crashes
+        self.enabled = bool(enabled)
         self._arrays: Dict[str, np.ndarray] = {}
         self._refs: Dict[str, Any] = {}
 
@@ -49,7 +54,7 @@ class RoundCheckpointer:
         self.rt.charge(Category.FAULT, self.rt.cost.seq_access_time(per_thread))
 
     def save(self, arrays: Mapping[str, np.ndarray] | None = None, **refs: Any) -> None:
-        """Snapshot the round's state (no-op without scheduled crashes)."""
+        """Snapshot the round's state (no-op while disabled)."""
         if not self.enabled:
             return
         arrays = arrays or {}

@@ -35,6 +35,12 @@ class FaultInjector:
         self.retry = plan.retry
         self.s = machine.total_threads
         self.rng = np.random.default_rng(plan.seed)
+        # Corruption draws come from a dedicated spawned stream so adding
+        # silent faults to a plan never perturbs the loss/retry draws of
+        # the existing fault classes (and vice versa).
+        self._corrupt_rng = np.random.default_rng(
+            np.random.SeedSequence(plan.seed, spawn_key=(1,))
+        )
         self.node_of = np.arange(self.s, dtype=np.int64) // machine.threads_per_node
 
         for node in plan.link_loss:
@@ -65,6 +71,11 @@ class FaultInjector:
         #: Crash events still pending, ordered by scheduled time so the
         #: earliest-due event is always consumed first (deterministic).
         self._pending: List[CrashEvent] = sorted(plan.crashes, key=lambda e: e.at_time)
+        #: Shared arrays registered as corruption targets (owner-block
+        #: bit flips), and the virtual timestamp of the next flip event.
+        self._corruptible: List = []
+        self._corruptible_elems = 0
+        self._next_flip: "float | None" = None
 
     # -- per-thread multipliers ---------------------------------------------
 
@@ -134,3 +145,111 @@ class FaultInjector:
     @property
     def pending_crashes(self) -> int:
         return len(self._pending)
+
+    # -- silent corruption ---------------------------------------------------
+
+    def register_corruptible(self, arr) -> None:
+        """Register a shared array as a target for owner-block bit
+        flips.  The Poisson flip rate scales with the total number of
+        registered elements (``plan.corruption`` flips per element per
+        modeled second); registration restarts the inter-arrival
+        clock, so register before the solve loop, not inside it."""
+        if self.plan.corruption <= 0.0:
+            return
+        self._corruptible.append(arr)
+        self._corruptible_elems += arr.size
+        self._next_flip = None
+
+    def _flip_rate(self) -> float:
+        """Flip events per virtual second across all registered blocks."""
+        return self.plan.corruption * float(self._corruptible_elems)
+
+    def poll_corruption(self, times: np.ndarray) -> int:
+        """Fire every flip event whose virtual timestamp the global
+        clock has passed; returns the number of elements flipped.
+
+        Events form a Poisson process on the virtual clock and each is
+        consumed exactly once — a replayed round re-traverses already
+        consumed timestamps cleanly, so verify-and-repair terminates.
+        """
+        if self.plan.corruption <= 0.0 or not self._corruptible:
+            return 0
+        now = float(np.asarray(times).max())
+        mean_gap = 1.0 / self._flip_rate()
+        if self._next_flip is None:
+            self._next_flip = now + self._corrupt_rng.exponential(mean_gap)
+        flips = 0
+        while self._next_flip <= now:
+            flips += self._apply_block_flip()
+            self._next_flip += self._corrupt_rng.exponential(mean_gap)
+        return flips
+
+    def _apply_block_flip(self) -> int:
+        """Flip one random bit of one random element of one registered
+        array; returns 1 if the stored value changed (0 for degenerate
+        single-value domains)."""
+        k = int(self._corrupt_rng.integers(0, self._corruptible_elems))
+        for arr in self._corruptible:
+            if k < arr.size:
+                break
+            k -= arr.size
+        old = int(arr.data[k])
+        new = self._fold_flip(old, arr.size)
+        if new == old:
+            return 0
+        arr.data[k] = new
+        return 1
+
+    def _fold_flip(self, value: int, domain: int) -> int:
+        """A silent single-bit flip folded back into ``[0, domain)``.
+
+        Out-of-domain flips would be caught by the collectives' existing
+        bounds checks (loud, not silent); folding models the dangerous
+        corruption class — a value that is wrong but still plausible.
+        """
+        if domain < 2:
+            return value
+        bit = int(self._corrupt_rng.integers(0, 62))
+        flipped = (value ^ (1 << bit)) % domain
+        if flipped == value:
+            flipped = (value + 1) % domain
+        return flipped
+
+    def _flip_packed_weight(self, key: int) -> int:
+        """Flip a bit in the weight field of a packed ``(weight <<
+        32) | position`` SetDMin key, keeping the position (and hence
+        every downstream index) valid — silent-wrong, never a crash."""
+        weight = key >> 32
+        position = key & 0xFFFFFFFF
+        bit = int(self._corrupt_rng.integers(0, 31))
+        flipped = (weight ^ (1 << bit)) % (1 << 31)
+        if flipped == weight:
+            flipped = (weight + 1) % (1 << 31)
+        return (flipped << 32) | position
+
+    def corrupt_payload(
+        self, values: np.ndarray, domain: int | None = None, packed: bool = False
+    ) -> tuple[np.ndarray, int]:
+        """One wire transmission of a collective payload: each record is
+        flipped i.i.d. with ``plan.payload_corruption``.  Returns ``(the
+        delivered buffer, number of records actually changed)`` — the
+        input is never mutated (a retransmission starts from the clean
+        buffer)."""
+        p = self.plan.payload_corruption
+        if p <= 0.0 or values.size == 0:
+            return values, 0
+        nhit = int(self._corrupt_rng.binomial(values.size, p))
+        if nhit == 0:
+            return values, 0
+        positions = np.unique(self._corrupt_rng.integers(0, values.size, size=nhit))
+        out = values.copy()
+        changed = 0
+        for pos in positions:
+            old = int(out[pos])
+            new = self._flip_packed_weight(old) if packed else self._fold_flip(old, int(domain))
+            if new != old:
+                out[pos] = new
+                changed += 1
+        if changed == 0:
+            return values, 0
+        return out, changed

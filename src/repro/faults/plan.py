@@ -148,6 +148,16 @@ class FaultPlan:
         charge — compute and communication — is stretched by its factor.
     nic_degradations, crashes:
         Transient NIC windows and scheduled crash events.
+    corruption:
+        Silent bit-flip rate in the owner blocks of protected shared
+        arrays: expected flips *per element per second of modeled
+        time*.  Flips arrive as a Poisson process on the virtual clock
+        and fire at synchronization points; each event is consumed once,
+        so a replayed round does not re-suffer the same flip.
+    payload_corruption:
+        Per-record probability that an in-flight collective payload
+        element (GetD/SetD/SetDMin buffer) is silently flipped on the
+        wire.  Applies only to multi-node transfers.
     retry:
         The :class:`RetryPolicy` priced against lost messages.
     """
@@ -158,12 +168,20 @@ class FaultPlan:
     stragglers: Mapping[int, float] = field(default_factory=dict)
     nic_degradations: Tuple[NicDegradation, ...] = ()
     crashes: Tuple[CrashEvent, ...] = ()
+    corruption: float = 0.0
+    payload_corruption: float = 0.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         for prob in (self.loss, *self.link_loss.values()):
             if not 0.0 <= prob < 1.0:
                 raise ConfigError(f"loss probability must be in [0, 1): got {prob}")
+        if self.corruption < 0.0:
+            raise ConfigError(f"corruption rate must be >= 0: got {self.corruption}")
+        if not 0.0 <= self.payload_corruption < 1.0:
+            raise ConfigError(
+                f"payload_corruption must be in [0, 1): got {self.payload_corruption}"
+            )
         for thread, factor in self.stragglers.items():
             if thread < 0 or factor < 1.0:
                 raise ConfigError(
@@ -183,11 +201,17 @@ class FaultPlan:
             or any(f > 1.0 for f in self.stragglers.values())
             or self.nic_degradations
             or self.crashes
+            or self.corruption > 0.0
+            or self.payload_corruption > 0.0
         )
 
     @property
     def has_crashes(self) -> bool:
         return bool(self.crashes)
+
+    @property
+    def has_corruption(self) -> bool:
+        return self.corruption > 0.0 or self.payload_corruption > 0.0
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -206,8 +230,11 @@ class FaultPlan:
         seed: int,
         total_threads: int,
         straggler_factor: float = 4.0,
+        corruption: float = 0.0,
+        payload_corruption: float = 0.0,
     ) -> "FaultPlan | None":
-        """Build the plan behind ``--fault-loss/--fault-stragglers``.
+        """Build the plan behind ``--fault-loss/--fault-stragglers/
+        --fault-corruption/--fault-payload-corruption``.
 
         Straggler threads are drawn deterministically from ``seed`` (a
         dedicated Generator, so the choice does not perturb the
@@ -218,7 +245,7 @@ class FaultPlan:
             raise ConfigError(f"loss probability must be in [0, 1): got {loss}")
         if stragglers < 0:
             raise ConfigError(f"straggler count must be >= 0: got {stragglers}")
-        if loss == 0.0 and stragglers == 0:
+        if loss == 0.0 and stragglers == 0 and corruption == 0.0 and payload_corruption == 0.0:
             return None
         if stragglers > total_threads:
             raise ConfigError(
@@ -229,4 +256,10 @@ class FaultPlan:
             picker = np.random.default_rng(seed)
             chosen = picker.choice(total_threads, size=stragglers, replace=False)
             slow = {int(t): straggler_factor for t in chosen}
-        return cls(seed=seed, loss=loss, stragglers=slow)
+        return cls(
+            seed=seed,
+            loss=loss,
+            stragglers=slow,
+            corruption=corruption,
+            payload_corruption=payload_corruption,
+        )

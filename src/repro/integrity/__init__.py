@@ -1,0 +1,21 @@
+"""Silent-data-corruption resilience: detection and repair.
+
+Injection of silent faults lives in :mod:`repro.faults`
+(``FaultPlan.corruption`` / ``FaultPlan.payload_corruption``); this
+package holds the defenses — checksummed shared-array blocks, end-to-end
+payload checksums, per-round invariant verification — and the composed
+chaos/soak harness that demonstrates them end to end.  See
+``docs/fault-model.md`` ("Silent faults and integrity").
+"""
+
+from .config import IntegrityConfig
+from .monitor import IntegrityMonitor, guard_payload
+from .soak import SoakConfig, run_soak
+
+__all__ = [
+    "IntegrityConfig",
+    "IntegrityMonitor",
+    "guard_payload",
+    "SoakConfig",
+    "run_soak",
+]

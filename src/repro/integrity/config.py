@@ -1,0 +1,63 @@
+"""Configuration of the silent-fault detection/repair layer.
+
+An :class:`IntegrityConfig` selects which defenses a run pays for:
+
+* ``checksums`` — per-owner-block digests of protected shared arrays,
+  verified at every synchronization point, plus end-to-end checksums on
+  multi-node collective payloads (detected corruption triggers a
+  retransmission from the clean buffer);
+* ``invariants`` — algorithmic verify-and-repair between rounds: CC
+  checks the pointer-jumping forest invariants at every round top, MST
+  spot-checks the Borůvka cut property on sampled selected edges.
+
+Both defenses are charged to the ``Fault`` trace category at modeled
+memory bandwidth, so protection overhead shows up in the breakdown; a
+run with no config (the default) pays exactly nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["IntegrityConfig"]
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """What the integrity layer checks, and how hard.
+
+    Parameters
+    ----------
+    checksums:
+        Maintain per-owner-block digests of protected arrays (verified
+        at every barrier) and end-to-end checksums on collective
+        payloads.  This is the complete defense: every injected block
+        flip is detected at the first synchronization point after it
+        lands, before any thread reads it.
+    invariants:
+        Run the per-round algorithmic checks (CC forest invariants, MST
+        cut-property spot checks).  Cheaper than checksums but partial:
+        a folded flip that still encodes a valid forest slips through.
+    mst_samples:
+        How many selected edges the MST spot check samples per round.
+    seed:
+        Seed of the monitor's private sampling Generator (which edges
+        the MST spot check draws); independent of the fault plan's seed.
+    """
+
+    checksums: bool = True
+    invariants: bool = True
+    mst_samples: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mst_samples < 1:
+            raise ConfigError(f"mst_samples must be >= 1: got {self.mst_samples}")
+
+    @property
+    def enabled(self) -> bool:
+        """False iff every defense is switched off (the runtime then
+        skips the integrity layer entirely)."""
+        return self.checksums or self.invariants

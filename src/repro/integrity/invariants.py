@@ -1,0 +1,80 @@
+"""Algorithmic invariants checked between rounds.
+
+These are pure predicates over solver state; the
+:class:`~repro.integrity.monitor.IntegrityMonitor` charges their modeled
+cost and turns violations into :class:`~repro.errors.IntegrityError`.
+
+CC (grafting + pointer jumping) maintains, at every round boundary:
+
+* every label is a valid vertex id;
+* labels never exceed the vertex id (``D`` starts as the identity and is
+  only ever lowered through min-combining scatters);
+* the forest is all stars (``D[D[v]] == D[v]``) — each round ends with
+  pointer jumping run to convergence.
+
+MST (Borůvka) hooks along minimum edges regardless of label order, so
+monotonicity does not hold there; round tops guarantee only valid labels
+and all-stars.  The per-round selection check instead spot-checks the
+cut property: a sampled winner recorded for supervertex ``r`` must be a
+real candidate edge incident to ``r`` whose weight matches the packed
+key that won the min-combine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cc_invariant_violation",
+    "star_invariant_violation",
+    "mst_selection_violation",
+]
+
+
+def _labels_in_range(labels: np.ndarray) -> bool:
+    n = labels.size
+    return bool(n == 0 or (labels.min() >= 0 and labels.max() < n))
+
+
+def cc_invariant_violation(labels: np.ndarray) -> "str | None":
+    """First violated CC round-top invariant, or ``None`` if clean."""
+    if not _labels_in_range(labels):
+        return "label out of range [0, n)"
+    if np.any(labels > np.arange(labels.size)):
+        return "label exceeds vertex id (min-combine monotonicity)"
+    if np.any(labels[labels] != labels):
+        return "forest is not all stars (root not a fixed point)"
+    return None
+
+
+def star_invariant_violation(labels: np.ndarray) -> "str | None":
+    """Round-top invariant for solvers that only guarantee stars (MST)."""
+    if not _labels_in_range(labels):
+        return "label out of range [0, n)"
+    if np.any(labels[labels] != labels):
+        return "forest is not all stars (root not a fixed point)"
+    return None
+
+
+def mst_selection_violation(
+    keys: np.ndarray,
+    roots: np.ndarray,
+    positions: np.ndarray,
+    du_c: np.ndarray,
+    dv_c: np.ndarray,
+    w_c: np.ndarray,
+) -> "str | None":
+    """Cut-property spot check on sampled Borůvka winners.
+
+    ``keys`` are the packed ``(weight << 32) | position`` entries that
+    won the min-combine for supervertices ``roots``; ``positions`` index
+    into the round's compacted candidate arrays ``du_c/dv_c/w_c``.
+    """
+    if keys.size == 0:
+        return None
+    weights = keys >> np.int64(32)
+    if np.any(w_c[positions] != weights):
+        return "winner weight disagrees with its candidate edge (cut property)"
+    if np.any((du_c[positions] != roots) & (dv_c[positions] != roots)):
+        return "winner edge is not incident to its supervertex"
+    return None

@@ -1,0 +1,234 @@
+"""Composed chaos/soak harness for the silent-fault story.
+
+Each soak iteration builds a fresh seeded graph, composes a fault plan
+(silent block/payload corruption, optionally message loss, stragglers,
+and scheduled crashes), and solves it twice per algorithm:
+
+* **unprotected** — fault plan only.  Silent flips land and nothing
+  checks them; the run is expected to sometimes produce a *wrong but
+  plausible* answer (or trip a convergence bound), which is exactly the
+  failure mode this subsystem exists to close.
+* **protected** — same plan plus the full
+  :class:`~repro.integrity.IntegrityConfig`.  Every result must verify.
+
+Every result is checked against networkx (components for CC; minimum
+forest weight for MST, plus the scipy structural checker), so "wrong"
+means *provably* wrong, not merely different.  The report — per
+iteration and in aggregate — lands in ``BENCH_soak.json`` via the bench
+harness, and the CI ``soak-smoke`` job fails on any unrepaired wrong
+result.
+
+Heavy imports (solvers, generators, networkx) stay function-local: this
+module is imported by ``repro.integrity.__init__``, which the
+collectives pull in at package-import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, ReproError
+from ..faults.plan import CrashEvent, FaultPlan
+from .config import IntegrityConfig
+
+__all__ = ["SoakConfig", "run_soak"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak campaign: how many iterations, over what, under what.
+
+    ``corruption``/``payload_corruption`` follow
+    :class:`~repro.faults.FaultPlan` semantics; ``loss``, ``stragglers``
+    and ``crashes`` compose the fail-stop fault classes in so the repair
+    paths are exercised together, not in isolation.
+    """
+
+    iterations: int = 5
+    seed: int = 0
+    algos: tuple = ("cc", "mst")
+    nodes: int = 16
+    threads: int = 8
+    n: int = 2048
+    m: int = 8192
+    corruption: float = 2.0e-2
+    payload_corruption: float = 1.0e-4
+    loss: float = 0.0
+    stragglers: int = 0
+    crashes: int = 0
+    unprotected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError(f"soak iterations must be >= 1: got {self.iterations}")
+        if self.n < 2 or self.m < 1:
+            raise ConfigError(f"soak graph must have n >= 2, m >= 1: got n={self.n} m={self.m}")
+        for algo in self.algos:
+            if algo not in ("cc", "mst"):
+                raise ConfigError(f"unknown soak algo {algo!r}; expected 'cc' or 'mst'")
+
+
+def _compose_plan(config: SoakConfig, seed: int, total_threads: int) -> FaultPlan:
+    """The iteration's fault plan: corruption always, fail-stop classes
+    as configured (stragglers drawn from a dedicated picker stream)."""
+    slow: dict[int, float] = {}
+    if config.stragglers:
+        picker = np.random.default_rng(seed)
+        chosen = picker.choice(total_threads, size=config.stragglers, replace=False)
+        slow = {int(t): 4.0 for t in chosen}
+    crashes = tuple(
+        CrashEvent(thread=int((seed + j) % total_threads), at_time=2.0e-4 * (j + 1))
+        for j in range(config.crashes)
+    )
+    return FaultPlan(
+        seed=seed,
+        loss=config.loss,
+        stragglers=slow,
+        crashes=crashes,
+        corruption=config.corruption,
+        payload_corruption=config.payload_corruption,
+    )
+
+
+def _cc_wrong(labels: np.ndarray, graph) -> "str | None":
+    """Compare a CC labeling against networkx's components."""
+    import networkx as nx
+
+    labels = np.asarray(labels)
+    seen: set = set()
+    for comp in nx.connected_components(graph.to_networkx()):
+        ids = np.fromiter(comp, dtype=np.int64, count=len(comp))
+        lab = np.unique(labels[ids])
+        if lab.size != 1:
+            return "one component carries several labels"
+        root = int(lab[0])
+        if root in seen:
+            return "two components share a label"
+        seen.add(root)
+    return None
+
+
+def _mst_wrong(result, graph) -> "str | None":
+    """Compare an MST result against networkx's minimum forest weight
+    and the scipy structural checker."""
+    import networkx as nx
+
+    from ..errors import VerificationError
+    from ..mst.verify import check_spanning_forest
+
+    ids = np.asarray(result.edge_ids, dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= graph.m):
+        return "forest edge id out of range"
+    # Parallel edges resolved to their minimum weight first, so the
+    # networkx total is the well-defined optimum of the multigraph.
+    dedup = graph.take(graph.dedup_min_weight_index())
+    expected = int(
+        sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(dedup.to_networkx(), data=True))
+    )
+    total = int(graph.w[ids].sum()) if ids.size else 0
+    if total != expected:
+        return f"forest weight {total} != networkx minimum {expected}"
+    try:
+        check_spanning_forest(graph, ids)
+    except VerificationError as err:
+        return str(err)
+    return None
+
+
+def _counters(result) -> dict:
+    c = result.info.trace.counters
+    return {
+        "injected": c.corruptions_injected,
+        "detected": c.corruptions_detected,
+        "repairs": c.repairs,
+        "retries": c.retries,
+        "crashes": c.crashes,
+        "restores": c.checkpoint_restores,
+    }
+
+
+def _solve(algo: str, g, gw, machine, plan, integrity):
+    from ..core.pipeline import connected_components, minimum_spanning_forest
+
+    if algo == "cc":
+        return connected_components(g, machine, impl="collective", faults=plan, integrity=integrity)
+    return minimum_spanning_forest(gw, machine, impl="collective", faults=plan, integrity=integrity)
+
+
+def run_soak(config: SoakConfig, out_dir=None, write_json: bool = True) -> dict:
+    """Run the soak campaign and return (and optionally write) the report.
+
+    The report's ``summary`` is the contract the CI job enforces:
+    ``protected_wrong`` and ``protected_failed`` must be zero — every
+    injected silent fault is either harmless or detected and repaired —
+    while ``unprotected_wrong_or_error`` documents what the same plans
+    do to an undefended run.
+    """
+    from ..bench.harness import write_bench_json
+    from ..graph.generators import random_graph, with_random_weights
+    from ..runtime.machine import hps_cluster
+
+    machine = hps_cluster(config.nodes, config.threads)
+    records = []
+    summary = {
+        "runs": 0,
+        "protected_wrong": 0,
+        "protected_failed": 0,
+        "injected": 0,
+        "detected": 0,
+        "repairs": 0,
+        "unprotected_runs": 0,
+        "unprotected_wrong_or_error": 0,
+    }
+    for i in range(config.iterations):
+        seed_i = config.seed + i
+        g = random_graph(config.n, config.m, seed=seed_i)
+        gw = with_random_weights(g, seed=seed_i + 1)
+        plan = _compose_plan(config, seed_i, machine.total_threads)
+        for algo in config.algos:
+            record = {"iteration": i, "algo": algo, "seed": seed_i}
+            summary["runs"] += 1
+            try:
+                res = _solve(algo, g, gw, machine, plan, IntegrityConfig())
+            except ReproError as err:
+                record["protected"] = {"failed": f"{type(err).__name__}: {err}"}
+                summary["protected_failed"] += 1
+            else:
+                wrong = (
+                    _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
+                )
+                stats = _counters(res)
+                record["protected"] = {
+                    "wrong": wrong,
+                    "sim_time_ms": res.info.sim_time_ms,
+                    **stats,
+                }
+                if wrong is not None:
+                    summary["protected_wrong"] += 1
+                summary["injected"] += stats["injected"]
+                summary["detected"] += stats["detected"]
+                summary["repairs"] += stats["repairs"]
+            if config.unprotected:
+                summary["unprotected_runs"] += 1
+                try:
+                    res = _solve(algo, g, gw, machine, plan, None)
+                except ReproError as err:
+                    record["unprotected"] = {"error": f"{type(err).__name__}: {err}"}
+                    summary["unprotected_wrong_or_error"] += 1
+                else:
+                    wrong = (
+                        _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
+                    )
+                    record["unprotected"] = {
+                        "wrong": wrong,
+                        "injected": _counters(res)["injected"],
+                    }
+                    if wrong is not None:
+                        summary["unprotected_wrong_or_error"] += 1
+            records.append(record)
+    report = {"config": asdict(config), "summary": summary, "iterations": records}
+    if write_json:
+        report["path"] = str(write_bench_json("soak", report, directory=out_dir))
+    return report

@@ -32,7 +32,7 @@ from ..collectives.getd import getd
 from ..collectives.setd import setdmin
 from ..core.optimizations import OptimizationFlags
 from ..core.results import MSTResult, SolveInfo
-from ..errors import GraphError, ThreadCrash
+from ..errors import FaultError, GraphError, IntegrityError, ThreadCrash
 from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
@@ -63,6 +63,7 @@ def solve_mst_collective(
     sort_method: str = "count",
     faults=None,
     adapter=None,
+    integrity=None,
 ) -> MSTResult:
     """Minimum spanning forest via the lock-free collective Borůvka.
 
@@ -70,6 +71,12 @@ def solve_mst_collective(
     schedules crashes, each Borůvka round checkpoints the supervertex
     labels, the live edge partitions, and the forest size; an injected
     crash restores the last checkpoint and replays only the lost round.
+
+    ``integrity`` accepts an :class:`~repro.integrity.IntegrityConfig`
+    (or ``True``): the label array is checksummed (``minedge`` digests
+    ride along), SetDMin bid payloads are end-to-end checked, each
+    round's winners are spot-checked against the Borůvka cut property,
+    and detected corruption restores the round checkpoint and replays.
 
     ``adapter`` accepts a :class:`~repro.tuning.OnlineAdapter` (built
     with ``allow_offload=False`` — see the invariant note below); it may
@@ -79,7 +86,7 @@ def solve_mst_collective(
         raise GraphError("MST needs a weighted graph; use with_random_weights()")
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults)
+    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults, integrity=integrity)
     if adapter is not None:
         adapter.begin(rt)
     n = graph.n
@@ -91,8 +98,12 @@ def solve_mst_collective(
     ep = distribute_edges(graph, rt.s)
     u_part, v_part, w_part = ep.u, ep.v, ep.w
     id_part = ep.edge_ids()
-    d = rt.shared_array(np.arange(n, dtype=np.int64))
-    minedge = rt.shared_array(np.full(n, NO_EDGE, dtype=np.int64))
+    d = rt.shared_array(np.arange(n, dtype=np.int64), name="mst.d")
+    minedge = rt.shared_array(np.full(n, NO_EDGE, dtype=np.int64), name="mst.minedge")
+    rt.protect_array(d)
+    # Packed (weight, position) keys have no fold-safe flip domain, so
+    # minedge is digest-verified but not a block-flip target.
+    rt.protect_array(minedge, corruptible=False)
     sizes_local = d.local_sizes().astype(np.float64)
     vert_offsets = np.zeros(rt.s + 1, dtype=np.int64)
     np.cumsum(d.local_sizes(), out=vert_offsets[1:])
@@ -107,18 +118,25 @@ def solve_mst_collective(
     hot = None
     jump_opts = opts.with_(offload=False)
 
-    ck = RoundCheckpointer(rt)
+    # Verify-and-repair needs the checkpoint even with a crash-free plan.
+    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    repairs = 0
+    repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
     chosen: list[np.ndarray] = []
     iteration = 0
     while True:
         iteration += 1
         check_converged(iteration, n, "mst-collective")
-        ck.save(
-            arrays={"d": d.data},
-            u_part=u_part, v_part=v_part, w_part=w_part, id_part=id_part,
-            nchosen=len(chosen),
-        )
         try:
+            # Round-top invariants run BEFORE the save so the checkpoint
+            # only ever holds invariant-clean state to restore into.
+            if rt.integrity is not None:
+                rt.integrity.verify_star_round(d)
+            ck.save(
+                arrays={"d": d.data},
+                u_part=u_part, v_part=v_part, w_part=w_part, id_part=id_part,
+                nchosen=len(chosen),
+            )
             rt.counters.add(iterations=1)
 
             du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
@@ -169,12 +187,16 @@ def solve_mst_collective(
             # labels, and the global edge id.
             setdmin(
                 rt, minedge, targets, bids.data, opts, None, None, tprime, sort_method,
-                record_words=4,
+                record_words=4, packed_payload=True,
             )
 
             # Owners scan their blocks for winners.
             rt.local_stream(sizes_local, Category.COPY)
             roots, pos = extract_winners(minedge.data)
+            if rt.integrity is not None:
+                # Cut-property spot check: sampled winners must be real
+                # candidates, incident to their supervertex, weight intact.
+                rt.integrity.verify_mst_selection(minedge, roots, pos, du_c, dv_c, w_c)
             chosen.append(np.unique(id_c[pos]))
             # The winning record's endpoints/edge-id ride along with the key
             # (the SetDMin payload); charge the owner-side unpack.
@@ -191,6 +213,9 @@ def solve_mst_collective(
             getd(rt, d, partner_part, opts, None, None, tprime, sort_method)
             break_hook_cycles(d.data, roots)
             rt.local_ops(float(roots.size))
+            if rt.integrity is not None:
+                # Fold the in-place cycle-break stores into d's digests.
+                rt.integrity.note_write(d, roots)
 
             pointer_jump_to_stars(rt, d, jump_opts, tprime, sort_method, vert_offsets)
             if adapter is not None:
@@ -199,13 +224,23 @@ def solve_mst_collective(
                 # D[0] invariant it relies on fails for Boruvka.
                 opts = new_opts.with_(offload=False)
                 jump_opts = opts
-        except ThreadCrash:
+        except (ThreadCrash, IntegrityError) as fault:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
             d.data[:] = state["d"]
             u_part, v_part = state["u_part"], state["v_part"]
             w_part, id_part = state["w_part"], state["id_part"]
             del chosen[state["nchosen"]:]
+            if rt.integrity is not None:
+                rt.integrity.resync(d)
+            if isinstance(fault, IntegrityError):
+                rt.counters.add(repairs=1)
+                repairs += 1
+                if repairs > repair_bound:
+                    raise FaultError(
+                        f"mst-collective gave up after {repairs} integrity repairs"
+                        " (corruption rate exceeds what replay can absorb)"
+                    ) from fault
             ctx.invalidate()
             iteration -= 1
             continue

@@ -57,10 +57,23 @@ class PGASRuntime:
     a :func:`repro.analysis.analyzed` block attach automatically.  The
     detector only *observes* — it never charges time or draws random
     numbers — so modeled results are bit-identical with it on or off.
+
+    ``integrity`` accepts an :class:`~repro.integrity.IntegrityConfig`
+    (or ``True`` for the defaults): arrays registered through
+    :meth:`protect_array` then carry verified block digests, collective
+    payloads are end-to-end checked, and detection raises
+    :class:`~repro.errors.IntegrityError` for the solver's repair path.
+    With no config (or an all-off one) the integrity layer is skipped
+    entirely and modeled times are bit-identical to a build without it.
     """
 
     def __init__(
-        self, machine: MachineConfig, profile: bool = False, faults=None, analyze=False
+        self,
+        machine: MachineConfig,
+        profile: bool = False,
+        faults=None,
+        analyze=False,
+        integrity=None,
     ) -> None:
         self.machine = machine
         self.cost = CostModel(machine)
@@ -76,6 +89,14 @@ class PGASRuntime:
             # A no-op plan keeps the zero-overhead default path engaged.
             if injector.plan.any_faults:
                 self.faults = injector
+        self.integrity = None
+        if integrity is not None:
+            from ..integrity.config import IntegrityConfig
+            from ..integrity.monitor import IntegrityMonitor
+
+            cfg = IntegrityConfig() if integrity is True else integrity
+            if cfg.enabled:
+                self.integrity = IntegrityMonitor(cfg, self)
         self.profiler = None
         from .profiling import PhaseProfiler, current_session
 
@@ -148,6 +169,19 @@ class PGASRuntime:
         self.counters.add(local_seq_elements=arr.size)
         if self.analyzer is not None:
             self.analyzer.register_array(arr)
+        return arr
+
+    def protect_array(self, arr: SharedArray, corruptible: bool = True) -> SharedArray:
+        """Opt a shared array into the silent-fault story on both sides:
+        register it as a bit-flip target with the active fault plan
+        (unless ``corruptible=False`` — e.g. packed-key arrays whose
+        values have no fold-safe flip domain), and start maintaining
+        verified block digests when an integrity config is attached.
+        Returns ``arr`` for chaining."""
+        if corruptible and self.faults is not None:
+            self.faults.register_corruptible(arr)
+        if self.integrity is not None:
+            self.integrity.track(arr)
         return arr
 
     # -- charging primitives --------------------------------------------------
@@ -225,6 +259,13 @@ class PGASRuntime:
         self.clocks.barrier(0.0)
         raise ThreadCrash(event.thread, event.at_time, event.recovery)
 
+    def _poll_corruption(self) -> None:
+        """Fire due silent bit-flip events against the registered arrays
+        (Poisson process on the virtual clock; each event fires once)."""
+        flips = self.faults.poll_corruption(self.clocks.times)
+        if flips:
+            self.counters.add(corruptions_injected=flips)
+
     def barrier(self) -> None:
         """Full barrier across all simulated threads."""
         self.clocks.barrier(self.cost.barrier_time())
@@ -236,6 +277,12 @@ class PGASRuntime:
             self.analyzer.on_barrier()
         if self.faults is not None:
             self._poll_crash()
+            self._poll_corruption()
+        # Digest verification runs at every sync point, right after the
+        # corruption poll: a flip must be caught before the next charged
+        # write could launder it into a refreshed digest.
+        if self.integrity is not None:
+            self.integrity.on_barrier()
 
     def allreduce_flag(self, flags: np.ndarray) -> bool:
         """Logical-OR allreduce used for termination detection.
@@ -259,6 +306,9 @@ class PGASRuntime:
             self.analyzer.on_barrier()
         if self.faults is not None:
             self._poll_crash()
+            self._poll_corruption()
+        if self.integrity is not None:
+            self.integrity.on_barrier()
         return bool(flags.any())
 
     # -- fine-grained shared access (the naive discipline) ---------------------
@@ -359,17 +409,21 @@ class PGASRuntime:
                 phase="fine-write",
             )
         if combine == "min":
-            return arr.scatter_min(indices.data, values)
-        if combine == "store_min":
-            return arr.scatter_store_min(indices.data, values)
-        if combine == "store":
+            changed = arr.scatter_min(indices.data, values)
+        elif combine == "store_min":
+            changed = arr.scatter_store_min(indices.data, values)
+        elif combine == "store":
             uniq = np.unique(indices.data)
             if uniq.size != indices.total:
                 raise CollectiveError("combine='store' requires unique targets")
             before = arr.data[indices.data].copy()
             arr.data[indices.data] = values
-            return int(np.count_nonzero(arr.data[indices.data] != before))
-        raise CollectiveError(f"unknown combine mode {combine!r}")
+            changed = int(np.count_nonzero(arr.data[indices.data] != before))
+        else:
+            raise CollectiveError(f"unknown combine mode {combine!r}")
+        if self.integrity is not None:
+            self.integrity.note_write(arr, indices.data)
+        return changed
 
     # -- local (per-thread) modeled work ---------------------------------------
 
@@ -444,6 +498,8 @@ class PGASRuntime:
         self._owner_charge(arr, charge, counts, category)
         if self.analyzer is not None:
             self.analyzer.record_block(arr, "w", phase="owner-block-write")
+        if self.integrity is not None:
+            self.integrity.note_write(arr)
 
     def owner_masked_write(
         self,
@@ -462,6 +518,8 @@ class PGASRuntime:
             self.analyzer.record_owner_write(
                 arr, np.flatnonzero(mask), phase="owner-masked-write"
             )
+        if self.integrity is not None:
+            self.integrity.note_write(arr, mask)
 
     def owner_indexed_write(
         self, arr: SharedArray, indices: np.ndarray, values, *, category: str = Category.WORK
@@ -473,6 +531,8 @@ class PGASRuntime:
         self.local_stream(writes.astype(np.float64), category)
         if self.analyzer is not None:
             self.analyzer.record_owner_write(arr, indices, phase="owner-indexed-write")
+        if self.integrity is not None:
+            self.integrity.note_write(arr, indices)
 
     # -- structured helpers -----------------------------------------------------
 

@@ -75,6 +75,9 @@ class Counters:
     crashes: int = 0
     checkpoint_restores: int = 0
     tuning_adaptations: int = 0
+    corruptions_injected: int = 0
+    corruptions_detected: int = 0
+    repairs: int = 0
 
     def add(self, **deltas: int) -> None:
         for key, value in deltas.items():
@@ -148,6 +151,11 @@ class Trace:
             yield (
                 f"faults  : retries={c.retries} crashes={c.crashes}"
                 f" restores={c.checkpoint_restores}"
+            )
+        if c.corruptions_injected or c.corruptions_detected or c.repairs:
+            yield (
+                f"silent  : injected={c.corruptions_injected}"
+                f" detected={c.corruptions_detected} repairs={c.repairs}"
             )
         for event in self.events:
             yield f"event   : {event}"

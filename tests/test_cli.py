@@ -164,6 +164,39 @@ class TestCommands:
     def test_fault_flags_rejected_for_listrank(self, capsys):
         assert main(["listrank", "--n", "500", "--machine", "4x2", "--fault-stragglers", "1"]) == 2
 
+    def test_cc_with_corruption_and_integrity(self, capsys):
+        assert main([
+            "cc", "--n", "2000", "--machine", "4x2", "--validate",
+            "--fault-corruption", "0.2", "--fault-payload-corruption", "5e-5",
+            "--integrity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "silent  :" in out
+        assert "detected" in out
+
+    def test_integrity_rejected_for_bfs(self, capsys):
+        assert main(["bfs", "--n", "1000", "--machine", "4x2", "--integrity"]) == 2
+        err = capsys.readouterr().err
+        assert "only supported for cc/mst" in err
+
+    def test_corruption_rejected_for_listrank(self, capsys):
+        assert main([
+            "listrank", "--n", "500", "--machine", "4x2", "--fault-corruption", "0.1",
+        ]) == 2
+
+    def test_soak_runs_and_writes_report(self, capsys, tmp_path):
+        assert main([
+            "soak", "--iterations", "1", "--seed", "0", "--algo", "cc",
+            "--n", "512", "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all protected runs verified" in out
+        assert (tmp_path / "BENCH_soak.json").exists()
+
+    def test_soak_rejects_bad_machine(self):
+        with pytest.raises(SystemExit):
+            main(["soak", "--machine", "smp"])
+
 
 class TestFailurePaths:
     """``python -m repro`` must fail *cleanly*: nonzero exit, a one-line

@@ -313,6 +313,48 @@ class TestCrashRecovery:
         assert res.info.trace.category_seconds["Fault"] > 0
 
 
+class TestExactCounters:
+    """Exact — not merely nonzero — counter values for one fixed
+    composed plan.  These are regression pins: any change to the
+    injector's draw order, the retry accounting, or the repair loop
+    shows up here as a counter drift, not as a silent behavior change.
+    """
+
+    PLAN = FaultPlan(
+        seed=5,
+        loss=1e-3,
+        crashes=(CrashEvent(thread=3, at_time=5e-3),),
+        corruption=0.2,
+        payload_corruption=5e-5,
+    )
+
+    def test_cc_collective_counters(self, g):
+        res = connected_components(
+            g, MACHINE, impl="collective", faults=self.PLAN, integrity=True, validate=True
+        )
+        c = res.info.trace.counters
+        assert c.retries == 5
+        assert c.crashes == 1
+        assert c.repairs == 8
+        assert c.checkpoint_restores == 9
+        assert c.corruptions_injected == 31
+        assert c.corruptions_detected == 31
+        assert c.checkpoint_restores == c.crashes + c.repairs
+
+    def test_mst_collective_counters(self, gw):
+        res = minimum_spanning_forest(
+            gw, MACHINE, impl="collective", faults=self.PLAN, integrity=True, validate=True
+        )
+        c = res.info.trace.counters
+        assert c.retries == 9
+        assert c.crashes == 1
+        assert c.repairs == 9
+        assert c.checkpoint_restores == 10
+        assert c.corruptions_injected == 43
+        assert c.corruptions_detected == 43
+        assert c.checkpoint_restores == c.crashes + c.repairs
+
+
 class TestTraceSurface:
     def test_retry_category_charged_under_loss(self, g):
         plan = FaultPlan.lossy(1e-2, seed=0)
