@@ -1,0 +1,59 @@
+"""Wall-clock engine benchmark: fast engine vs legacy engine, honestly.
+
+Runs :func:`repro.perf.bench.run_wallclock_bench` — the same pinned
+workload timed under both engines in one process — so the reported
+speedup is a real before/after on *this* machine, never a stale number
+from different hardware.  The payload lands in ``BENCH_wallclock.json``
+(archived by CI, gated by the perf-smoke job via
+``python -m repro perf --min-speedup``).
+
+Scale follows ``REPRO_BENCH_SCALE``; ``REPRO_BENCH_WORKERS`` sizes the
+fan-out throughput leg (only meaningful on multi-core hosts — the
+payload records the CPU count so readers can interpret a ~1x ratio).
+"""
+
+from repro.bench import format_table
+from repro.perf.bench import run_wallclock_bench
+
+
+def test_wallclock_fast_vs_legacy(benchmark, repro_scale, repro_workers):
+    payload = benchmark.pedantic(
+        run_wallclock_bench,
+        kwargs={"scale": max(0.25, repro_scale), "repeats": 2, "workers": repro_workers},
+        rounds=1,
+        iterations=1,
+    )
+    serial = payload["serial"]
+    fan = payload["fanout"]
+    print()
+    print(
+        format_table(
+            ["measurement", "fast", "legacy", "speedup"],
+            [
+                [
+                    "serial workload (s)",
+                    f"{serial['fast_seconds']:.3f}",
+                    f"{serial['legacy_seconds']:.3f}",
+                    f"{serial['speedup']:.2f}x",
+                ],
+                [
+                    "soak throughput (it/s)",
+                    f"{fan['parallel']['iterations_per_second']:.2f}",
+                    f"{fan['serial']['iterations_per_second']:.2f}",
+                    f"{fan['throughput_speedup']:.2f}x",
+                ],
+            ],
+        )
+    )
+    print(f"cpus={payload['cpus']} workers={fan['parallel']['workers']}"
+          f" report={payload['path']}")
+
+    # The engines must both have produced a measurable run; the speedup
+    # *gate* lives in the CI perf-smoke job (same-machine comparison),
+    # not here — a loaded laptop must not fail the figure suite.
+    assert serial["fast_seconds"] > 0 and serial["legacy_seconds"] > 0
+    assert payload["arena"]["leases"] > 0, "fast engine never touched the arena"
+
+    benchmark.extra_info["serial_speedup"] = round(serial["speedup"], 3)
+    benchmark.extra_info["fanout_speedup"] = round(fan["throughput_speedup"], 3)
+    benchmark.extra_info["cpus"] = payload["cpus"]

@@ -10,6 +10,11 @@ race detector and prints the report (report-only — the naive-UPC figures
 race *by design*; that is the point of the comparison, so the bench
 never fails on it).  The detector is observation-only, so the printed
 modeled times are unchanged.
+
+Fan-out: ``REPRO_BENCH_WORKERS`` (int or ``auto``) spreads benchmarks
+with independent sweep points (e.g. the tuning lattice) across a
+process pool via :mod:`repro.perf.fanout`; tables are identical for
+any worker count because all reported times are modeled.
 """
 
 from __future__ import annotations
@@ -25,6 +30,17 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 @pytest.fixture(scope="session")
 def repro_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def repro_workers() -> int:
+    """Fan-out width for benchmarks with independent sweep points:
+    ``REPRO_BENCH_WORKERS`` (int or ``auto``; default serial).  Every
+    consumer must produce the identical table for any worker count —
+    modeled times come from the simulator, not from wall-clock."""
+    from repro.perf.fanout import resolve_workers
+
+    return resolve_workers(os.environ.get("REPRO_BENCH_WORKERS"))
 
 
 @pytest.fixture

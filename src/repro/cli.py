@@ -11,6 +11,12 @@ Commands
 ``tune``      run the autotuner and print its predicted-vs-measured table
 ``soak``      composed chaos campaign: silent corruption + fail-stop faults,
               every result networkx-verified, report in ``BENCH_soak.json``
+``perf``      wall-clock benchmark of the fast engine vs the legacy engine
+              (bit-identical modeled time), report in ``BENCH_wallclock.json``
+
+``soak`` and ``tune`` accept ``--workers N`` (or ``auto``) to fan their
+independent runs across a process pool; reports are identical for any
+worker count apart from wall-clock fields.
 
 Every solve prints the result summary, the modeled time, the Fig. 5
 category breakdown, and the communication counters.  All inputs are
@@ -358,8 +364,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         f"soak — {args.iterations} iteration(s) x {'/'.join(config.algos)} on"
         f" {nodes}x{threads}, n={config.n:,} m={config.m:,}"
     ))
-    report = run_soak(config, out_dir=args.out_dir)
+    report = run_soak(config, out_dir=args.out_dir, workers=args.workers)
     s = report["summary"]
+    wc = report["wallclock"]
+    print(f"\nwallclock : {wc['seconds']:.2f}s with {wc['workers']} worker(s)")
     print(f"\nruns      : {s['runs']} protected"
           + (f" + {s['unprotected_runs']} unprotected" if s["unprotected_runs"] else ""))
     print(f"injected  : {s['injected']} corruptions, {s['detected']} detected,"
@@ -375,6 +383,46 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         return 4
     print("\nall protected runs verified against networkx")
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf.bench import check_against_baseline, run_wallclock_bench
+
+    print(banner(f"wall-clock bench — scale={args.scale:g} repeats={args.repeats}"))
+    payload = run_wallclock_bench(
+        out_dir=args.out_dir, scale=args.scale, repeats=args.repeats, workers=args.workers
+    )
+    serial = payload["serial"]
+    fan = payload["fanout"]
+    print(f"\ncpus    : {payload['cpus']}")
+    print(f"serial  : fast {serial['fast_seconds']:.3f}s vs legacy"
+          f" {serial['legacy_seconds']:.3f}s -> {serial['speedup']:.2f}x")
+    print(f"fanout  : {fan['serial']['iterations_per_second']:.2f} it/s serial vs"
+          f" {fan['parallel']['iterations_per_second']:.2f} it/s with"
+          f" {fan['parallel']['workers']} worker(s) -> {fan['throughput_speedup']:.2f}x")
+    if "note" in fan["parallel"]:
+        print(f"note    : {fan['parallel']['note']}")
+    print(f"report  : {payload['path']}")
+    failed = False
+    if args.min_speedup is not None and serial["speedup"] < args.min_speedup:
+        print(
+            f"\nFAIL: serial speedup {serial['speedup']:.2f}x below"
+            f" required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.baseline is not None:
+        import json
+        from pathlib import Path
+
+        baseline = json.loads(Path(args.baseline).read_text())
+        message = check_against_baseline(payload, baseline)
+        if message is not None:
+            print(f"\nFAIL: {message}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"baseline: within tolerance of {args.baseline}")
+    return 5 if failed else 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -446,7 +494,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     cache = PlanCache()
     workload = Workload(kind=args.algo, n=args.n, m=m, graph_kind=args.kind)
-    plan = autotune(workload, machine, cache=cache, use_cache=not args.fresh)
+    plan = autotune(
+        workload, machine, cache=cache, use_cache=not args.fresh, workers=args.workers
+    )
     print(f"\nplan cache: {cache.path}")
     print(f"searched {plan.lattice_size} configurations;"
           f" {len(plan.probed())} probe-measured at n={plan.probe_n:,}")
@@ -552,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the unprotected comparison legs (protected runs only)",
     )
     p_soak.add_argument("--out-dir", default=None, help="directory for BENCH_soak.json")
+    p_soak.add_argument(
+        "--workers", default=None,
+        help="process-pool workers: an int or 'auto' (default: serial)",
+    )
     p_soak.set_defaults(func=_cmd_soak)
 
     p_info = sub.add_parser("info", help="machine presets and calibration")
@@ -575,7 +629,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument(
         "--fresh", action="store_true", help="ignore any cached plan and re-search"
     )
+    p_tune.add_argument(
+        "--workers", default=None,
+        help="process-pool workers for probe solves: an int or 'auto' (default: serial)",
+    )
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_perf = sub.add_parser(
+        "perf", help="wall-clock bench: fast vs legacy engine, fan-out throughput"
+    )
+    p_perf.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    p_perf.add_argument("--repeats", type=int, default=2, help="best-of-N timing repeats")
+    p_perf.add_argument(
+        "--workers", default=None,
+        help="fan-out workers for the soak-throughput leg: int or 'auto' (default: auto)",
+    )
+    p_perf.add_argument("--out-dir", default=None, help="directory for BENCH_wallclock.json")
+    p_perf.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 5) when the serial fast-vs-legacy speedup is below this",
+    )
+    p_perf.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_wallclock.json to gate against (>25%% slower fails, exit 5)",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_an = sub.add_parser("analyze", help="static cost-model soundness lint")
     p_an.add_argument(

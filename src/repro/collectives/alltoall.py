@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CollectiveError
+from ..perf import arena
+from ..perf import state as perf_state
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
 from ..runtime.trace import Category
@@ -37,6 +39,13 @@ def send_matrix(
         return np.zeros((s, s), dtype=np.int64)
     if owners.min() < 0 or owners.max() >= s or requesters.min() < 0 or requesters.max() >= s:
         raise CollectiveError("thread id out of range in send matrix")
+    if perf_state.fast_engine_enabled():
+        # Fused key build into pooled scratch (this runs once per
+        # collective call on a vector the size of the request buffer).
+        with arena.lease(owners.size, np.int64) as keys:
+            np.multiply(owners, np.int64(s), out=keys)
+            keys += requesters
+            return np.bincount(keys, minlength=s * s).reshape(s, s)
     keys = owners * np.int64(s) + requesters
     return np.bincount(keys, minlength=s * s).reshape(s, s)
 

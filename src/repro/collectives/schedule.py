@@ -19,25 +19,40 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CollectiveError
+from ..perf.derived import freeze, memoized
 
 __all__ = ["linear_schedule", "circular_schedule", "max_step_contention", "is_contention_free"]
 
 
+@memoized(maxsize=64, name="linear_schedule")
+def _linear_schedule(s: int) -> np.ndarray:
+    return freeze(np.tile(np.arange(s, dtype=np.int64), (s, 1)))
+
+
 def linear_schedule(s: int) -> np.ndarray:
     """``order[i, step]``: peer contacted by thread ``i`` at ``step``
-    under the naive order — everyone walks 0, 1, ..., s-1 together."""
+    under the naive order — everyone walks 0, 1, ..., s-1 together.
+
+    Pure in ``s``, so the order matrix is memoized (and read-only)."""
     if s < 1:
         raise CollectiveError("need s >= 1")
-    return np.tile(np.arange(s, dtype=np.int64), (s, 1))
+    return _linear_schedule(int(s))
+
+
+@memoized(maxsize=64, name="circular_schedule")
+def _circular_schedule(s: int) -> np.ndarray:
+    i = np.arange(s, dtype=np.int64)[:, None]
+    step = np.arange(s, dtype=np.int64)[None, :]
+    return freeze((i + step) % s)
 
 
 def circular_schedule(s: int) -> np.ndarray:
-    """The paper's order: thread ``i`` contacts ``(i + step) mod s``."""
+    """The paper's order: thread ``i`` contacts ``(i + step) mod s``.
+
+    Pure in ``s``, so the order matrix is memoized (and read-only)."""
     if s < 1:
         raise CollectiveError("need s >= 1")
-    i = np.arange(s, dtype=np.int64)[:, None]
-    step = np.arange(s, dtype=np.int64)[None, :]
-    return (i + step) % s
+    return _circular_schedule(int(s))
 
 
 def max_step_contention(order: np.ndarray) -> int:

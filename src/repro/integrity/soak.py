@@ -157,21 +157,54 @@ def _solve(algo: str, g, gw, machine, plan, integrity):
     return minimum_spanning_forest(gw, machine, impl="collective", faults=plan, integrity=integrity)
 
 
-def run_soak(config: SoakConfig, out_dir=None, write_json: bool = True) -> dict:
-    """Run the soak campaign and return (and optionally write) the report.
+def _run_iteration(task: "tuple[SoakConfig, int]") -> list:
+    """One soak iteration (all algos, protected + unprotected).
 
-    The report's ``summary`` is the contract the CI job enforces:
-    ``protected_wrong`` and ``protected_failed`` must be zero — every
-    injected silent fault is either harmless or detected and repaired —
-    while ``unprotected_wrong_or_error`` documents what the same plans
-    do to an undefended run.
+    Module-level and fully determined by ``(config, i)`` so the fan-out
+    layer can run iterations in worker processes; returns the iteration's
+    records, from which the summary is derived afterwards.
     """
-    from ..bench.harness import write_bench_json
     from ..graph.generators import random_graph, with_random_weights
     from ..runtime.machine import hps_cluster
 
+    config, i = task
     machine = hps_cluster(config.nodes, config.threads)
+    seed_i = config.seed + i
+    g = random_graph(config.n, config.m, seed=seed_i)
+    gw = with_random_weights(g, seed=seed_i + 1)
+    plan = _compose_plan(config, seed_i, machine.total_threads)
     records = []
+    for algo in config.algos:
+        record = {"iteration": i, "algo": algo, "seed": seed_i}
+        try:
+            res = _solve(algo, g, gw, machine, plan, IntegrityConfig())
+        except ReproError as err:
+            record["protected"] = {"failed": f"{type(err).__name__}: {err}"}
+        else:
+            wrong = _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
+            record["protected"] = {
+                "wrong": wrong,
+                "sim_time_ms": res.info.sim_time_ms,
+                **_counters(res),
+            }
+        if config.unprotected:
+            try:
+                res = _solve(algo, g, gw, machine, plan, None)
+            except ReproError as err:
+                record["unprotected"] = {"error": f"{type(err).__name__}: {err}"}
+            else:
+                wrong = _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
+                record["unprotected"] = {
+                    "wrong": wrong,
+                    "injected": _counters(res)["injected"],
+                }
+        records.append(record)
+    return records
+
+
+def _summarize(records: list) -> dict:
+    """Aggregate the CI contract's summary from the per-run records
+    (pure fold over the records, so it cannot depend on worker count)."""
     summary = {
         "runs": 0,
         "protected_wrong": 0,
@@ -182,53 +215,57 @@ def run_soak(config: SoakConfig, out_dir=None, write_json: bool = True) -> dict:
         "unprotected_runs": 0,
         "unprotected_wrong_or_error": 0,
     }
-    for i in range(config.iterations):
-        seed_i = config.seed + i
-        g = random_graph(config.n, config.m, seed=seed_i)
-        gw = with_random_weights(g, seed=seed_i + 1)
-        plan = _compose_plan(config, seed_i, machine.total_threads)
-        for algo in config.algos:
-            record = {"iteration": i, "algo": algo, "seed": seed_i}
-            summary["runs"] += 1
-            try:
-                res = _solve(algo, g, gw, machine, plan, IntegrityConfig())
-            except ReproError as err:
-                record["protected"] = {"failed": f"{type(err).__name__}: {err}"}
-                summary["protected_failed"] += 1
-            else:
-                wrong = (
-                    _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
-                )
-                stats = _counters(res)
-                record["protected"] = {
-                    "wrong": wrong,
-                    "sim_time_ms": res.info.sim_time_ms,
-                    **stats,
-                }
-                if wrong is not None:
-                    summary["protected_wrong"] += 1
-                summary["injected"] += stats["injected"]
-                summary["detected"] += stats["detected"]
-                summary["repairs"] += stats["repairs"]
-            if config.unprotected:
-                summary["unprotected_runs"] += 1
-                try:
-                    res = _solve(algo, g, gw, machine, plan, None)
-                except ReproError as err:
-                    record["unprotected"] = {"error": f"{type(err).__name__}: {err}"}
-                    summary["unprotected_wrong_or_error"] += 1
-                else:
-                    wrong = (
-                        _cc_wrong(res.labels, g) if algo == "cc" else _mst_wrong(res, gw)
-                    )
-                    record["unprotected"] = {
-                        "wrong": wrong,
-                        "injected": _counters(res)["injected"],
-                    }
-                    if wrong is not None:
-                        summary["unprotected_wrong_or_error"] += 1
-            records.append(record)
-    report = {"config": asdict(config), "summary": summary, "iterations": records}
+    for record in records:
+        summary["runs"] += 1
+        prot = record["protected"]
+        if "failed" in prot:
+            summary["protected_failed"] += 1
+        else:
+            if prot["wrong"] is not None:
+                summary["protected_wrong"] += 1
+            summary["injected"] += prot["injected"]
+            summary["detected"] += prot["detected"]
+            summary["repairs"] += prot["repairs"]
+        unprot = record.get("unprotected")
+        if unprot is not None:
+            summary["unprotected_runs"] += 1
+            if "error" in unprot or unprot["wrong"] is not None:
+                summary["unprotected_wrong_or_error"] += 1
+    return summary
+
+
+def run_soak(config: SoakConfig, out_dir=None, write_json: bool = True, workers=None) -> dict:
+    """Run the soak campaign and return (and optionally write) the report.
+
+    The report's ``summary`` is the contract the CI job enforces:
+    ``protected_wrong`` and ``protected_failed`` must be zero — every
+    injected silent fault is either harmless or detected and repaired —
+    while ``unprotected_wrong_or_error`` documents what the same plans
+    do to an undefended run.
+
+    ``workers`` fans the (independent, seeded) iterations out across a
+    process pool (``None``/1 = serial, ``"auto"`` = one per CPU).  The
+    report is identical for any worker count except the ``wallclock``
+    block, which records how this campaign actually ran.
+    """
+    import time
+
+    from ..bench.harness import write_bench_json
+    from ..perf.fanout import fanout_map, resolve_workers
+
+    nworkers = resolve_workers(workers)
+    t0 = time.perf_counter()
+    per_iteration = fanout_map(
+        _run_iteration, [(config, i) for i in range(config.iterations)], workers=nworkers
+    )
+    seconds = time.perf_counter() - t0
+    records = [record for chunk in per_iteration for record in chunk]
+    report = {
+        "config": asdict(config),
+        "summary": _summarize(records),
+        "iterations": records,
+        "wallclock": {"workers": nworkers, "seconds": seconds},
+    }
     if write_json:
         report["path"] = str(write_bench_json("soak", report, directory=out_dir))
     return report

@@ -1,0 +1,166 @@
+"""The ``BENCH_wallclock.json`` harness (``python -m repro perf``).
+
+Measures the thing the perf layer actually claims — simulator
+wall-clock — honestly, by timing the *same* pinned workload under the
+fast engine and the legacy engine in one process on this machine, so
+the reported speedup never depends on a recorded number from different
+hardware.  Two measurements:
+
+* ``serial``: a tier-1-equivalent workload (CC + MST collective solves,
+  plus a faulted+integrity-protected solve) per engine; the speedup is
+  ``legacy_s / fast_s`` and the CI smoke job gates on ``--min-speedup``.
+* ``fanout``: soak-campaign throughput (iterations/second) serial vs.
+  ``--workers`` processes.  Only meaningful on multi-core machines;
+  recorded with the core count so single-core CI readers can tell why
+  the ratio is ~1.
+
+``--baseline`` compares the fast-engine serial seconds against a
+previously recorded ``BENCH_wallclock.json`` and fails on >25%
+regression (same-machine comparisons only — CI runs both on one
+runner).
+"""
+
+from __future__ import annotations
+
+import time
+
+from . import state
+from .arena import global_arena
+from .derived import clear_derived_caches, derived_cache_stats
+from .fanout import available_cpus, resolve_workers
+
+__all__ = ["run_wallclock_bench", "serial_workload"]
+
+#: Pinned tier-1-equivalent workload shape (scaled by ``--scale``).
+_WORKLOAD_N = 20_000
+_WORKLOAD_DEGREE = 4
+_SOAK_ITERATIONS = 4
+
+
+def serial_workload(scale: float = 1.0) -> None:
+    """One pass of the pinned workload under the current engine."""
+    from ..core.pipeline import connected_components, minimum_spanning_forest
+    from ..faults.plan import FaultPlan
+    from ..graph.generators import random_graph, with_random_weights
+    from ..integrity import IntegrityConfig
+    from ..runtime.machine import hps_cluster
+
+    n = max(64, int(_WORKLOAD_N * scale))
+    machine = hps_cluster(16, 8)
+    g = random_graph(n, _WORKLOAD_DEGREE * n, seed=2010)
+    gw = with_random_weights(g, seed=2011)
+    connected_components(g, machine, impl="collective")
+    minimum_spanning_forest(gw, machine, impl="collective")
+    # The faulted leg stays pinned: its injected-corruption count grows
+    # with modeled time, and past ~3x scale replay would (correctly)
+    # give up.  It exercises the integrity path, not the scaling story.
+    small = random_graph(2500, 10_000, seed=2012)
+    plan = FaultPlan(seed=3, loss=0.01, corruption=5.0e-3, payload_corruption=1.0e-4)
+    connected_components(
+        small, hps_cluster(4, 2), impl="collective", faults=plan,
+        integrity=IntegrityConfig(),
+    )
+
+
+def _time_engine(fast: bool, scale: float, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for the workload on one engine."""
+    previous = state.set_fast_engine(fast)
+    clear_derived_caches()
+    global_arena().clear()
+    try:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            serial_workload(scale)
+            best = min(best, time.perf_counter() - t0)
+        return best
+    finally:
+        state.set_fast_engine(previous)
+        clear_derived_caches()
+
+
+def _soak_throughput(scale: float, workers: int) -> dict:
+    from ..integrity.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        iterations=_SOAK_ITERATIONS,
+        seed=42,
+        n=max(64, int(2048 * scale)),
+        m=max(256, int(8192 * scale)),
+        nodes=4,
+        threads=2,
+    )
+    t0 = time.perf_counter()
+    run_soak(config, write_json=False, workers=workers)
+    seconds = time.perf_counter() - t0
+    runs = config.iterations * len(config.algos)
+    return {
+        "workers": workers,
+        "seconds": seconds,
+        "iterations_per_second": runs / seconds if seconds > 0 else float("inf"),
+    }
+
+
+def run_wallclock_bench(
+    out_dir=None,
+    scale: float = 1.0,
+    repeats: int = 2,
+    workers=None,
+    write_json: bool = True,
+) -> dict:
+    """Measure both engines and the fan-out; return the payload."""
+    fast_s = _time_engine(True, scale, repeats)
+    legacy_s = _time_engine(False, scale, repeats)
+
+    cpus = available_cpus()
+    nworkers = resolve_workers(workers if workers is not None else "auto")
+    serial_soak = _soak_throughput(scale, workers=1)
+    if nworkers > 1:
+        fan_soak = _soak_throughput(scale, workers=nworkers)
+    else:
+        fan_soak = dict(serial_soak, note="single-core host: fan-out not exercised")
+    fan_speedup = (
+        fan_soak["iterations_per_second"] / serial_soak["iterations_per_second"]
+        if serial_soak["iterations_per_second"] else float("inf")
+    )
+
+    payload = {
+        "scale": scale,
+        "repeats": repeats,
+        "cpus": cpus,
+        "serial": {
+            "fast_seconds": fast_s,
+            "legacy_seconds": legacy_s,
+            "speedup": legacy_s / fast_s if fast_s > 0 else float("inf"),
+        },
+        "fanout": {
+            "serial": serial_soak,
+            "parallel": fan_soak,
+            "throughput_speedup": fan_speedup,
+        },
+        "arena": global_arena().stats(),
+        "derived_caches": derived_cache_stats(),
+    }
+    if write_json:
+        from ..bench.harness import write_bench_json
+
+        payload["path"] = str(write_bench_json("wallclock", payload, directory=out_dir))
+    return payload
+
+
+def check_against_baseline(payload: dict, baseline: dict, tolerance: float = 0.25) -> "str | None":
+    """Compare fast-engine serial seconds to a recorded same-machine
+    baseline; return a failure message when >``tolerance`` slower."""
+    try:
+        now = float(payload["serial"]["fast_seconds"])
+        then = float(baseline["serial"]["fast_seconds"])
+    except (KeyError, TypeError, ValueError):
+        return "baseline file lacks serial.fast_seconds"
+    if then <= 0:
+        return None
+    if now > then * (1.0 + tolerance):
+        return (
+            f"wallclock regression: {now:.3f}s vs baseline {then:.3f}s"
+            f" (>{tolerance:.0%} slower)"
+        )
+    return None

@@ -1,0 +1,97 @@
+"""Deterministic process-pool fan-out for embarrassingly-parallel runs.
+
+Soak iterations, tuner probe solves, and benchmark scenario grids all
+share the same shape: a list of independent work items, each fully
+determined by its arguments (seeds included), whose results are
+aggregated afterwards.  :func:`fanout_map` runs such a list across a
+process pool while preserving the serial contract exactly:
+
+* **deterministic partitioning** — items are dispatched in list order
+  and results are reassembled in list order
+  (:meth:`~concurrent.futures.Executor.map` semantics), so aggregation
+  sees the same sequence regardless of worker count or completion
+  order;
+* **seed ownership stays with the item** — the fan-out never draws
+  random numbers and never mutates the items; every worker recomputes
+  exactly what the serial loop would have computed for that item;
+* **workers <= 1 short-circuits** to a plain in-process loop (no pool,
+  no pickling), which is also the fallback when the platform cannot
+  spawn processes.
+
+Because each worker process starts from the module defaults, the fast
+engine and its caches behave identically in every worker; modeled
+output therefore cannot depend on ``workers``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = ["fanout_map", "resolve_workers", "available_cpus"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware when available)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a ``--workers`` value to a concrete positive count.
+
+    ``None`` or ``0`` means serial (1).  ``"auto"`` (or a negative
+    count) means one worker per available CPU.  ``REPRO_PERF_WORKERS``
+    in the environment overrides ``None`` so harnesses can opt whole
+    test runs into fan-out without plumbing flags.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_PERF_WORKERS", "").strip()
+        if env:
+            workers = env
+        else:
+            return 1
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return available_cpus()
+    try:
+        workers = int(workers)
+    except (TypeError, ValueError):
+        raise ConfigError(f"workers must be an integer or 'auto': got {workers!r}") from None
+    if workers < 0:
+        return available_cpus()
+    return max(1, workers)
+
+
+def fanout_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    workers=None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally across a process pool.
+
+    Results come back in item order.  ``fn`` and every item must be
+    picklable when ``workers > 1`` (module-level functions and plain
+    data — the soak/tuner workers are written that way).
+    """
+    items = list(items)
+    nworkers = resolve_workers(workers)
+    if nworkers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    nworkers = min(nworkers, len(items))
+    try:
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+    except (OSError, PermissionError):
+        # Sandboxes without process spawning fall back to the serial
+        # loop — same results, just slower.
+        return [fn(item) for item in items]

@@ -1,0 +1,144 @@
+"""Golden-trace fingerprints: the bit-identity contract, made testable.
+
+A *scenario* pins everything that feeds a solve — graph seed, machine
+shape, algorithm, fault plan, race analyzer, integrity protection — and
+:func:`scenario_fingerprint` reduces the run to a canonical, comparable
+structure:
+
+* every modeled float (``sim_time``, per-category seconds, the
+  per-thread breakdown) is rendered with :meth:`float.hex`, so dict
+  equality means **bit** equality, not approximate equality;
+* result arrays (labels, forest edge ids) are folded to a SHA-256 of
+  their raw bytes plus dtype/shape;
+* counters are copied verbatim;
+* a deterministic solver error (e.g. the convergence bound tripping on
+  an unprotected corrupted run) is itself part of the fingerprint.
+
+``SCENARIOS`` spans ``{cc, mst} × {faults, analyze, integrity} ×
+{on, off}``.  The regression suite runs each scenario under the legacy
+engine and the fast engine and asserts the fingerprints are equal —
+which is the whole contract: wall-clock optimizations never alter
+charged time, counters, or answers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_fingerprint"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned run of the golden matrix."""
+
+    algo: str  # "cc" | "mst"
+    faults: bool
+    analyze: bool
+    integrity: bool
+    n: int = 384
+    m: int = 1536
+    seed: int = 7
+    nodes: int = 4
+    threads: int = 2
+
+    @property
+    def name(self) -> str:
+        flags = "".join(
+            tag for tag, on in (
+                ("F", self.faults), ("A", self.analyze), ("I", self.integrity)
+            ) if on
+        )
+        return f"{self.algo}-{flags or 'plain'}"
+
+
+SCENARIOS = tuple(
+    Scenario(algo=algo, faults=f, analyze=a, integrity=i)
+    for algo, f, a, i in product(("cc", "mst"), (False, True), (False, True), (False, True))
+)
+
+
+def _hex(x: float) -> str:
+    return float(x).hex()
+
+
+def _array_fp(arr: np.ndarray) -> dict:
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+    }
+
+
+def _fault_plan(scenario: Scenario):
+    from ..faults.plan import FaultPlan
+
+    return FaultPlan(
+        seed=scenario.seed,
+        loss=0.01,
+        corruption=5.0e-3,
+        payload_corruption=1.0e-4,
+    )
+
+
+def scenario_fingerprint(scenario: Scenario) -> dict:
+    """Run the scenario under the *current* engine and fingerprint it."""
+    from ..core.pipeline import connected_components, minimum_spanning_forest
+    from ..graph.generators import random_graph, with_random_weights
+    from ..integrity import IntegrityConfig
+    from ..runtime.machine import hps_cluster
+
+    machine = hps_cluster(scenario.nodes, scenario.threads)
+    g = random_graph(scenario.n, scenario.m, seed=scenario.seed)
+    plan = _fault_plan(scenario) if scenario.faults else None
+    integrity = IntegrityConfig() if scenario.integrity else None
+
+    ctx = contextlib.nullcontext()
+    if scenario.analyze:
+        from ..analysis import analyzed
+
+        ctx = analyzed()
+
+    fp: dict = {"scenario": scenario.name}
+    try:
+        with ctx:
+            if scenario.algo == "cc":
+                res = connected_components(
+                    g, machine, impl="collective", faults=plan, integrity=integrity
+                )
+                fp["result"] = {
+                    "labels": _array_fp(res.labels),
+                    "num_components": res.num_components,
+                }
+            else:
+                gw = with_random_weights(g, seed=scenario.seed + 1)
+                res = minimum_spanning_forest(
+                    gw, machine, impl="collective", faults=plan, integrity=integrity
+                )
+                fp["result"] = {
+                    "edge_ids": _array_fp(np.sort(res.edge_ids)),
+                    "total_weight": int(res.total_weight),
+                    "labels": _array_fp(res.labels),
+                }
+    except ReproError as err:
+        # Deterministic failures (e.g. the convergence bound on an
+        # unprotected corrupted run) must reproduce bit-for-bit too.
+        fp["error"] = f"{type(err).__name__}: {err}"
+        return fp
+
+    info = res.info
+    trace = info.trace
+    fp["sim_time"] = _hex(info.sim_time)
+    fp["iterations"] = int(info.iterations)
+    fp["category_seconds"] = {c: _hex(v) for c, v in trace.category_seconds.items()}
+    fp["breakdown"] = {c: _hex(v) for c, v in trace.breakdown(machine.total_threads).items()}
+    fp["counters"] = trace.counters.as_dict()
+    return fp

@@ -1,0 +1,65 @@
+"""Engine switch between the optimized and the legacy (pre-perf) paths.
+
+Every wall-clock optimization in this tree — pooled scratch buffers,
+memoized derived artifacts, the bincount/cumsum rewrites of the
+``np.unique`` hot spots — is gated on :func:`fast_engine_enabled` and
+keeps its original implementation alive as the *legacy engine*.  That
+buys two things:
+
+* the **golden-trace contract** is enforceable: the regression suite
+  runs every pinned scenario under both engines and byte-compares the
+  modeled breakdowns, counters, and algorithm results (they must be
+  bit-identical — wall-clock optimizations never touch charged time);
+* the **speedup is measurable**: ``python -m repro perf`` times the same
+  workload under both engines in one process, so ``BENCH_wallclock.json``
+  reports a real before/after ratio instead of trusting a stale recorded
+  number from different hardware.
+
+The switch is process-global (the simulator is single-threaded; the
+fan-out layer parallelizes across *processes*, each of which inherits
+the default).  ``REPRO_PERF_DISABLE=1`` in the environment starts a
+process on the legacy engine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = ["fast_engine_enabled", "legacy_engine", "set_fast_engine"]
+
+_fast = os.environ.get("REPRO_PERF_DISABLE", "") not in ("1", "true", "yes")
+
+
+def fast_engine_enabled() -> bool:
+    """True when the optimized hot paths are active (the default)."""
+    return _fast
+
+
+def set_fast_engine(enabled: bool) -> bool:
+    """Flip the engine; returns the previous setting."""
+    global _fast
+    previous = _fast
+    _fast = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def legacy_engine():
+    """Run the body on the pre-optimization code paths.
+
+    Used by the golden bit-identity suite and the wall-clock benchmark;
+    never needed in production code.  Also clears the memoization caches
+    on entry *and* exit so neither engine sees artifacts produced while
+    the other was active (the artifacts are value-identical either way;
+    clearing just keeps cache-hit accounting honest).
+    """
+    from .derived import clear_derived_caches
+
+    previous = set_fast_engine(False)
+    clear_derived_caches()
+    try:
+        yield
+    finally:
+        set_fast_engine(previous)
+        clear_derived_caches()

@@ -16,8 +16,25 @@ from typing import Iterable, Iterator, List, Sequence
 import numpy as np
 
 from ..errors import DistributionError
+from ..perf import arena
+from ..perf import state as perf_state
+from ..perf.derived import freeze, memoized
 
 __all__ = ["PartitionedArray", "even_offsets"]
+
+#: Presence-mask slot cap for the vectorized distinct counts; sparser
+#: payloads fall back to the ``np.unique`` path.
+_DISTINCT_SLOT_CAP = 1 << 26
+
+
+@memoized(maxsize=512, name="even_offsets")
+def _even_offsets(total: int, parts: int) -> np.ndarray:
+    base, extra = divmod(total, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    offsets = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return freeze(offsets)
 
 
 def even_offsets(total: int, parts: int) -> np.ndarray:
@@ -28,18 +45,13 @@ def even_offsets(total: int, parts: int) -> np.ndarray:
         raise DistributionError(f"need at least one part, got {parts}")
     if total < 0:
         raise DistributionError(f"negative total {total}")
-    base, extra = divmod(total, parts)
-    sizes = np.full(parts, base, dtype=np.int64)
-    sizes[:extra] += 1
-    offsets = np.zeros(parts + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    return offsets
+    return _even_offsets(int(total), int(parts))
 
 
 class PartitionedArray:
     """A flat array split into ``s`` contiguous per-thread segments."""
 
-    __slots__ = ("data", "offsets")
+    __slots__ = ("data", "offsets", "_tids")
 
     def __init__(self, data: np.ndarray, offsets: np.ndarray) -> None:
         data = np.asarray(data)
@@ -55,6 +67,7 @@ class PartitionedArray:
             raise DistributionError("offsets must be non-decreasing")
         self.data = data
         self.offsets = offsets
+        self._tids = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -86,8 +99,21 @@ class PartitionedArray:
         ``a.segment(i)`` followed by ``b.segment(i)``."""
         if a.parts != b.parts:
             raise DistributionError("cannot concat partitions with different part counts")
-        segs = [np.concatenate([a.segment(i), b.segment(i)]) for i in range(a.parts)]
-        return cls.from_segments(segs)
+        if not perf_state.fast_engine_enabled():
+            segs = [np.concatenate([a.segment(i), b.segment(i)]) for i in range(a.parts)]
+            return cls.from_segments(segs)
+        # One scatter per input instead of a Python loop of per-segment
+        # concatenations: place segment i of `a` at the interleaved
+        # output offset, then segment i of `b` right after it.
+        sa, sb = a.sizes(), b.sizes()
+        offsets = np.zeros(a.parts + 1, dtype=np.int64)
+        np.cumsum(sa + sb, out=offsets[1:])
+        out = np.empty(int(offsets[-1]), dtype=np.result_type(a.data.dtype, b.data.dtype))
+        shift_a = np.repeat(offsets[:-1] - a.offsets[:-1], sa)
+        out[np.arange(a.total, dtype=np.int64) + shift_a] = a.data
+        shift_b = np.repeat(offsets[:-1] + sa - b.offsets[:-1], sb)
+        out[np.arange(b.total, dtype=np.int64) + shift_b] = b.data
+        return cls(out, offsets)
 
     # -- basic accessors --------------------------------------------------------
 
@@ -114,8 +140,18 @@ class PartitionedArray:
             yield self.segment(i)
 
     def thread_ids(self) -> np.ndarray:
-        """For every flat position, the owning thread id."""
-        return np.repeat(np.arange(self.parts, dtype=np.int64), self.sizes())
+        """For every flat position, the owning thread id.
+
+        The partitioning is immutable, so the fast engine computes this
+        once per instance and returns the cached (read-only) vector.
+        """
+        if not perf_state.fast_engine_enabled():
+            return np.repeat(np.arange(self.parts, dtype=np.int64), self.sizes())
+        if self._tids is None:
+            tids = np.repeat(np.arange(self.parts, dtype=np.int64), self.sizes())
+            tids.setflags(write=False)
+            self._tids = tids
+        return self._tids
 
     # -- transformations ---------------------------------------------------------
 
@@ -135,9 +171,18 @@ class PartitionedArray:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape[0] != self.total:
             raise DistributionError("mask length mismatch")
-        kept_per_thread = np.bincount(self.thread_ids()[mask], minlength=self.parts)
-        offsets = np.zeros(self.parts + 1, dtype=np.int64)
-        np.cumsum(kept_per_thread, out=offsets[1:])
+        if perf_state.fast_engine_enabled():
+            # Per-thread kept counts straight from the mask's prefix
+            # sums (one cumsum instead of bincount over thread ids).
+            offsets = np.zeros(self.parts + 1, dtype=np.int64)
+            with arena.lease(self.total + 1, np.int64) as cum:
+                cum[0] = 0
+                np.cumsum(mask, out=cum[1:])
+                np.cumsum(cum[self.offsets[1:]] - cum[self.offsets[:-1]], out=offsets[1:])
+        else:
+            kept_per_thread = np.bincount(self.thread_ids()[mask], minlength=self.parts)
+            offsets = np.zeros(self.parts + 1, dtype=np.int64)
+            np.cumsum(kept_per_thread, out=offsets[1:])
         return PartitionedArray(self.data[mask], offsets)
 
     def segment_sums(self, values: np.ndarray | None = None) -> np.ndarray:
@@ -159,6 +204,14 @@ class PartitionedArray:
         vals = self.data.astype(np.int64)
         vmin = int(vals.min())
         vrange = int(vals.max()) - vmin + 1
+        slots = self.parts * vrange
+        if perf_state.fast_engine_enabled() and slots <= _DISTINCT_SLOT_CAP:
+            # Presence mask instead of sorting: mark each (thread, value)
+            # slot, then count marks per thread row.
+            with arena.lease(slots, np.int8, clear=True) as present:
+                key = self.thread_ids() * np.int64(vrange) + (vals - vmin)
+                present[key] = 1
+                return present.reshape(self.parts, vrange).sum(axis=1, dtype=np.int64)
         key = self.thread_ids() * np.int64(vrange) + (vals - vmin)
         uniq = np.unique(key)
         return np.bincount(uniq // vrange, minlength=self.parts)

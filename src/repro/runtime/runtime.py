@@ -79,6 +79,10 @@ class PGASRuntime:
         self.cost = CostModel(machine)
         self.clocks = ThreadClocks(machine)
         self.trace = Trace()
+        if profile:
+            # Full event fidelity when profiling; the default cap only
+            # bounds memory on long unprofiled campaigns.
+            self.trace.event_cap = None
         self.faults = None
         if faults is not None:
             from ..faults.injector import FaultInjector

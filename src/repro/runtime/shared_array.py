@@ -18,9 +18,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DistributionError
+from ..perf import state as perf_state
 from .machine import MachineConfig
 
 __all__ = ["SharedArray"]
+
+
+def _group_minima(idx: np.ndarray, vals: np.ndarray):
+    """Sort-reduce duplicate targets: returns ``(targets, minima)`` with
+    ``targets`` the ascending unique indices and ``minima`` the minimum
+    value proposed for each (same adjudication as ``np.minimum.at``,
+    without its per-element inner loop)."""
+    order = np.argsort(idx)
+    sidx = idx[order]
+    svals = vals[order]
+    starts = np.flatnonzero(np.concatenate(([True], sidx[1:] != sidx[:-1])))
+    return sidx[starts], np.minimum.reduceat(svals, starts)
 
 
 class SharedArray:
@@ -127,6 +140,13 @@ class SharedArray:
             return 0
         if idx.min() < 0 or idx.max() >= self.size:
             raise DistributionError("shared array index out of range")
+        if perf_state.fast_engine_enabled():
+            targets, minima = _group_minima(idx, vals)
+            before = self.data[targets]
+            new = np.minimum(before, minima)
+            changed = int(np.count_nonzero(new != before))
+            self.data[targets] = new
+            return changed
         uniq = np.unique(idx)
         before = self.data[uniq].copy()
         np.minimum.at(self.data, idx, vals)
@@ -151,6 +171,15 @@ class SharedArray:
             return 0
         if idx.min() < 0 or idx.max() >= self.size:
             raise DistributionError("shared array index out of range")
+        if perf_state.fast_engine_enabled():
+            targets, minima = _group_minima(idx, vals.astype(np.int64))
+            # Match the sentinel path exactly: a proposal equal to the
+            # sentinel is indistinguishable from "untouched" there.
+            keep = minima != np.iinfo(np.int64).max
+            targets, minima = targets[keep], minima[keep]
+            changed = int(np.count_nonzero(self.data[targets] != minima))
+            self.data[targets] = minima.astype(self.data.dtype)
+            return changed
         sentinel = np.iinfo(np.int64).max
         proposal = np.full(self.size, sentinel, dtype=np.int64)
         np.minimum.at(proposal, idx, vals.astype(np.int64))

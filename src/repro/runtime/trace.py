@@ -26,7 +26,7 @@ model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 __all__ = ["Category", "Counters", "Trace"]
@@ -89,52 +89,88 @@ class Counters:
         return {k: int(v) for k, v in self.__dict__.items()}
 
 
-@dataclass
+#: Fixed category -> accumulator-slot mapping (insertion order of
+#: ``Category.ALL``, which is also the reporting order).
+_CAT_INDEX = {c: i for i, c in enumerate(Category.ALL)}
+
+#: Default bound on retained free-form events.  Soak campaigns run the
+#: adapter's decision stream for hours; without a cap the list grows
+#: linearly with solve count.  Runtimes built with ``profile=True`` lift
+#: the cap (``event_cap = None``) for full fidelity.
+DEFAULT_EVENT_CAP = 256
+
+
 class Trace:
     """Counters plus per-category accumulated thread-seconds.
 
     ``category_seconds[c]`` is the total time charged to category ``c``
     summed over all threads; divide by the thread count for the average
     per-thread breakdown the figures report.
+
+    Internally the per-category totals live in a flat list indexed by
+    the fixed ``Category.ALL`` position — ``charge_category`` is on the
+    charging hot path, and a list slot add beats per-call dict churn.
+    The additions happen in exactly the same order either way, so the
+    float64 totals are bit-identical to the dict-accumulator layout.
     """
 
-    counters: Counters = field(default_factory=Counters)
-    category_seconds: Dict[str, float] = field(
-        default_factory=lambda: {c: 0.0 for c in Category.ALL}
-    )
-    #: Structured decision records (e.g. the autotuner's mid-solve
-    #: adaptations); free-form strings, in the order they happened.
-    events: List[str] = field(default_factory=list)
+    __slots__ = ("counters", "_cat", "events", "event_cap", "dropped_events")
+
+    def __init__(self, counters: Counters | None = None, category_seconds=None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self._cat: List[float] = [0.0] * len(Category.ALL)
+        if category_seconds:
+            for cat, sec in category_seconds.items():
+                self._cat[_CAT_INDEX[cat]] = float(sec)
+        #: Structured decision records (e.g. the autotuner's mid-solve
+        #: adaptations); free-form strings, in the order they happened.
+        self.events: List[str] = []
+        self.event_cap: "int | None" = DEFAULT_EVENT_CAP
+        self.dropped_events = 0
+
+    @property
+    def category_seconds(self) -> Dict[str, float]:
+        """Per-category totals as a fresh ``{category: seconds}`` dict."""
+        cat = self._cat
+        return {c: cat[i] for c, i in _CAT_INDEX.items()}
 
     def record_event(self, event: str) -> None:
         """Append a decision/annotation record to the trace (used by the
-        online tuning adapter so every adaptation is auditable)."""
+        online tuning adapter so every adaptation is auditable).  Beyond
+        ``event_cap`` events are counted, not stored."""
+        if self.event_cap is not None and len(self.events) >= self.event_cap:
+            self.dropped_events += 1
+            return
         self.events.append(str(event))
 
     def charge_category(self, category: str, thread_seconds: float) -> None:
-        if category not in self.category_seconds:
+        i = _CAT_INDEX.get(category)
+        if i is None:
             raise KeyError(f"unknown time category {category!r}; expected one of {Category.ALL}")
         if thread_seconds < 0:
             raise ValueError("cannot charge negative time to a category")
-        self.category_seconds[category] += float(thread_seconds)
+        self._cat[i] += float(thread_seconds)
 
     def breakdown(self, nthreads: int) -> Dict[str, float]:
         """Average per-thread seconds in each category."""
         if nthreads <= 0:
             raise ValueError("nthreads must be positive")
-        return {c: v / nthreads for c, v in self.category_seconds.items()}
+        cat = self._cat
+        return {c: cat[i] / nthreads for c, i in _CAT_INDEX.items()}
 
     def total_thread_seconds(self) -> float:
-        return sum(self.category_seconds.values())
+        return sum(self._cat)
 
     def merge(self, other: "Trace") -> None:
         """Accumulate another trace into this one (used when a solve is
         composed of sub-phases traced separately)."""
         for key, value in other.counters.as_dict().items():
             self.counters.add(**{key: value})
-        for cat, sec in other.category_seconds.items():
-            self.category_seconds[cat] += sec
-        self.events.extend(other.events)
+        for i, sec in enumerate(other._cat):
+            self._cat[i] += sec
+        for event in other.events:
+            self.record_event(event)
+        self.dropped_events += other.dropped_events
 
     def summary_lines(self, nthreads: int) -> Iterable[str]:
         bd = self.breakdown(nthreads)
@@ -159,3 +195,5 @@ class Trace:
             )
         for event in self.events:
             yield f"event   : {event}"
+        if self.dropped_events:
+            yield f"event   : ... {self.dropped_events} further event(s) dropped (cap {self.event_cap})"

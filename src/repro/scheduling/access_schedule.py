@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import DistributionError
+from ..perf.derived import memoized
 from .countsort import group_by_key
 
 __all__ = ["ScheduleStats", "scheduled_gather", "scheduled_scatter_min", "schedule_plan"]
@@ -70,18 +71,24 @@ class ScheduleStats:
         return total
 
 
-def schedule_plan(n: int, *ws: int) -> tuple[int, ...]:
-    """Validate and return a per-level ``W`` plan (depth = len(ws)).
-
-    The paper: "To reduce overhead we limit the recursion depth in our
-    implementation to no more than three levels."
-    """
+@memoized(maxsize=512, name="schedule_plan")
+def _schedule_plan(n: int, ws: tuple) -> tuple:
     if len(ws) > 3:
         raise DistributionError("recursion depth is limited to 3 levels (as in the paper)")
     for w in ws:
         if not 1 <= w <= max(n, 1):
             raise DistributionError(f"W={w} out of range [1, {n}]")
     return tuple(int(w) for w in ws)
+
+
+def schedule_plan(n: int, *ws: int) -> tuple[int, ...]:
+    """Validate and return a per-level ``W`` plan (depth = len(ws)).
+
+    The paper: "To reduce overhead we limit the recursion depth in our
+    implementation to no more than three levels."  Pure in its
+    arguments, so validated plans are memoized.
+    """
+    return _schedule_plan(int(n), tuple(int(w) for w in ws))
 
 
 def _gather_level(

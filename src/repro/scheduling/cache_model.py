@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..perf.derived import memoized
 from ..runtime.cost import ELEM_BYTES, CostModel
 
 __all__ = [
@@ -87,6 +88,14 @@ def scheduling_beneficial(m: int, n: int, cost: CostModel, w: int | None = None)
     return scheduled_gather_time(m, n, w, cost).total < unscheduled_gather_time(m, cost)
 
 
+@memoized(maxsize=1024, name="best_tprime")
+def _best_tprime(block_elems: int, cache: float, bytes_per: int, max_tprime: int) -> int:
+    for tprime in range(1, max_tprime + 1):
+        if block_elems * bytes_per / tprime <= cache:
+            return tprime
+    return max_tprime
+
+
 def best_tprime(
     block_elems: int,
     cost: CostModel,
@@ -99,12 +108,25 @@ def best_tprime(
     certain level cache hierarchy (e.g. L2)".  Benchmarks sweep around
     this prediction (Fig. 4 shows a shallow optimum slightly below the
     exact-fit point because each extra virtual thread adds grouping work).
+    Depends only on ``(block_elems, cache size, bytes_per, max_tprime)``,
+    so predictions are memoized.
     """
-    cache = cost.machine.cache.size_bytes
-    for tprime in range(1, max_tprime + 1):
-        if block_elems * bytes_per / tprime <= cache:
-            return tprime
-    return max_tprime
+    return _best_tprime(
+        int(block_elems), cost.machine.cache.size_bytes, int(bytes_per), int(max_tprime)
+    )
+
+
+@memoized(maxsize=1024, name="tprime_candidates")
+def _tprime_candidates(fit: int, max_tprime: int) -> tuple:
+    ladder = set()
+    step = 1
+    while step <= max_tprime:
+        ladder.add(step)
+        step *= 2
+    for near in (fit - 1, fit, fit + 1, 2 * fit):
+        if 1 <= near <= max_tprime:
+            ladder.add(near)
+    return tuple(sorted(ladder))
 
 
 def tprime_candidates(
@@ -120,15 +142,8 @@ def tprime_candidates(
     doubling ladder ``1, 2, 4, ...`` up to ``max_tprime`` plus the
     cache-fit value and its immediate neighbours — small enough to sweep
     exhaustively, dense enough around the predicted optimum that the
-    true one is never more than one step away.
+    true one is never more than one step away.  Memoized like
+    :func:`best_tprime` (the grid is pure in the fit point and cap).
     """
     fit = best_tprime(block_elems, cost, bytes_per, max_tprime)
-    ladder = set()
-    step = 1
-    while step <= max_tprime:
-        ladder.add(step)
-        step *= 2
-    for near in (fit - 1, fit, fit + 1, 2 * fit):
-        if 1 <= near <= max_tprime:
-            ladder.add(near)
-    return tuple(sorted(ladder))
+    return _tprime_candidates(int(fit), int(max_tprime))

@@ -70,21 +70,24 @@ def autotune(
     cache: Optional[PlanCache] = None,
     use_cache: bool = True,
     probe: bool = True,
+    workers=None,
 ) -> TuningPlan:
     """Plan for ``workload`` on ``machine``, via the persistent cache.
 
     Cache hit: the stored plan comes back untouched (no probes run).
     Miss: a plan is built, stored, and the cache saved.  Pass
     ``use_cache=False`` to force a fresh search without touching disk.
+    ``workers`` fans probe solves across processes (plan identical for
+    any worker count).
     """
     if not use_cache:
-        return build_plan(workload, machine, probe=probe)
+        return build_plan(workload, machine, probe=probe, workers=workers)
     if cache is None:
         cache = PlanCache()
     plan = cache.get(machine, workload)
     if plan is not None:
         return plan
-    plan = build_plan(workload, machine, probe=probe)
+    plan = build_plan(workload, machine, probe=probe, workers=workers)
     cache.put(machine, workload, plan)
     cache.save()
     return plan

@@ -405,6 +405,13 @@ def _probe_solve_ms(
     return result.info.sim_time_ms
 
 
+def _probe_task(task: tuple) -> float:
+    """Picklable probe unit for the fan-out layer: one configuration,
+    one scaled-replica solve, returns modeled ms."""
+    workload, graph, machine, impl, opts_key, tprime = task
+    return _probe_solve_ms(workload, graph, machine, impl, parse_opts_key(opts_key), tprime)
+
+
 def _impl_candidates(kind: str) -> tuple:
     # `sv` stays a candidate for CC (the predictor prices its extra
     # rounds); `naive` is priced for the tune report but never probed —
@@ -419,11 +426,14 @@ def build_plan(
     probe: bool = True,
     analytic_top_k: int = 6,
     probe_n_cap: int = PROBE_N_CAP,
+    workers=None,
 ) -> TuningPlan:
     """Search the configuration lattice for ``workload`` on ``machine``.
 
     With ``probe=False`` only the analytic stage runs (instant; the
-    ranking is approximate).  Deterministic either way.
+    ranking is approximate).  ``workers`` fans the probe solves (each an
+    independent, fully-seeded run) across a process pool.  Deterministic
+    either way, for any worker count.
     """
     if profile is None:
         profile = calibrate_profile(machine)
@@ -499,12 +509,20 @@ def build_plan(
         f = probe_n / workload.n
         graph = _probe_graph(workload, probe_n)
         pmachine = _probe_machine(machine, f)
-        measured: Dict[tuple, PlanEntry] = {}
-        for key, entry in chosen.items():
-            ms = _probe_solve_ms(
-                workload, graph, pmachine, entry.impl, entry.opts(), entry.tprime
-            )
-            measured[key] = replace(entry, probed_ms=ms / f)
+        # Each probe is an independent seeded solve; fan them out (the
+        # map preserves task order, so the plan is worker-count
+        # independent).
+        from ..perf.fanout import fanout_map
+
+        keys = list(chosen.keys())
+        tasks = [
+            (workload, graph, pmachine, chosen[k].impl, chosen[k].opts_key, chosen[k].tprime)
+            for k in keys
+        ]
+        probed = fanout_map(_probe_task, tasks, workers=workers)
+        measured: Dict[tuple, PlanEntry] = {
+            k: replace(chosen[k], probed_ms=ms / f) for k, ms in zip(keys, probed)
+        }
         entries = [measured.get((e.impl, e.opts_key, e.tprime), e) for e in entries]
         entries.sort(
             key=lambda e: (

@@ -1,0 +1,65 @@
+"""Golden-trace bit-identity suite for the wall-clock perf engine.
+
+The contract of ``repro.perf``: every optimization (pooled scratch
+buffers, memoized derived artifacts, the bincount/cumsum rewrites of
+the ``np.unique``/``ufunc.at`` hot spots, the rewritten Trace
+accumulator) changes *only* wall-clock.  Modeled times, per-category
+seconds, per-thread breakdowns, counters, and algorithm results must be
+**bit**-identical between the fast engine and the legacy engine.
+
+:func:`repro.perf.golden.scenario_fingerprint` renders every modeled
+float with ``float.hex`` and folds result arrays to SHA-256 digests, so
+plain ``==`` on the fingerprints below means byte equality — no
+tolerances anywhere in this file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import clear_derived_caches, global_arena, legacy_engine
+from repro.perf.golden import SCENARIOS, Scenario, scenario_fingerprint
+
+
+def _scenario_id(scenario: Scenario) -> str:
+    return scenario.name
+
+
+def test_matrix_spans_the_contract():
+    """16 scenarios: {cc, mst} x {faults, analyze, integrity} x {on, off}."""
+    assert len(SCENARIOS) == 16
+    names = [s.name for s in SCENARIOS]
+    assert len(set(names)) == 16
+    for algo in ("cc", "mst"):
+        assert f"{algo}-plain" in names
+        assert f"{algo}-FAI" in names
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=_scenario_id)
+def test_fast_engine_is_bit_identical(scenario):
+    with legacy_engine():
+        golden = scenario_fingerprint(scenario)
+    clear_derived_caches()
+    global_arena().clear()
+    fast = scenario_fingerprint(scenario)
+    assert fast == golden, f"{scenario.name}: fast engine diverged from legacy"
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS[:4], ids=_scenario_id)
+def test_fast_engine_is_deterministic_across_repeats(scenario):
+    """Warm caches and a warm arena must not change a single bit either."""
+    first = scenario_fingerprint(scenario)
+    second = scenario_fingerprint(scenario)
+    assert first == second
+
+
+def test_faulted_unprotected_error_is_part_of_the_fingerprint():
+    """A deterministic solver failure must reproduce identically too:
+    a corrupted unprotected run that trips the convergence bound is a
+    legitimate golden outcome, not a test error."""
+    hot = Scenario(algo="cc", faults=True, analyze=False, integrity=False, seed=7)
+    with legacy_engine():
+        golden = scenario_fingerprint(hot)
+    fast = scenario_fingerprint(hot)
+    assert fast == golden
+    assert ("error" in golden) == ("error" in fast)
