@@ -1,0 +1,96 @@
+"""Service benchmark: open-loop load at several offered rates.
+
+Stands up a real :class:`~repro.service.ServiceServer` (ephemeral port,
+journal on) and drives it with the :mod:`repro.service.loadtest`
+open-loop generator at three offered rates — the last one deliberately
+past saturation for the configured worker count — measuring what the
+*service layer* adds to the solvers: admission outcomes (accepted /
+429 / shed), end-to-end p50/p99 latency, delivered throughput, and the
+verified-result contract.
+
+Acceptance criteria enforced here (the robustness analogue of the
+figure benchmarks' accuracy criteria):
+
+* the server stays healthy through every level, saturation included;
+* zero contract violations — every served result carries
+  ``verify.status == "verified"``; nothing unverified or wrong is ever
+  returned;
+* the saturated level actually saturates: delivered throughput stays
+  below the offered rate (otherwise the "past saturation" level was not
+  past saturation and the numbers are not measuring degradation).
+
+Results land in ``BENCH_service.json`` for CI to archive.  Wall-clock
+latencies here are real (this benchmark times the service, not the
+simulator), so numbers vary run to run; the *contract* assertions do
+not.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import format_table, write_bench_json
+from repro.service import LoadtestConfig, ServiceConfig, ServiceServer, run_loadtest
+
+
+def test_service_open_loop(benchmark, repro_scale, tmp_path):
+    n = max(128, int(512 * repro_scale))
+    jobs = max(8, int(24 * repro_scale))
+    server = ServiceServer(ServiceConfig(
+        port=0,
+        workers=2,
+        queue_capacity=16,
+        quota_rate=30.0,
+        quota_burst=40.0,
+        journal_path=str(tmp_path / "journal.jsonl"),
+        journal_fsync=False,
+    ))
+    server.start_background()
+    try:
+        config = LoadtestConfig(
+            base_url=server.url,
+            # Low, near-capacity, and past saturation for 2 workers.
+            rates_per_s=(2.0, 10.0, 40.0),
+            jobs_per_level=jobs,
+            n=n,
+            seed=7,
+            poll_timeout_s=300.0,
+        )
+        report = benchmark.pedantic(run_loadtest, args=(config,), rounds=1, iterations=1)
+    finally:
+        server.stop()
+
+    rows = []
+    for level in report["levels"]:
+        rows.append([
+            f"{level['offered_rate_per_s']:g}",
+            level["offered"],
+            level["accepted"],
+            level["rejected_429"],
+            level["completed"],
+            f"{level['throughput_per_s']:.2f}",
+            f"{level['shed_rate']:.0%}",
+            "-" if level["latency_p50_s"] is None else f"{level['latency_p50_s'] * 1e3:.0f}",
+            "-" if level["latency_p99_s"] is None else f"{level['latency_p99_s'] * 1e3:.0f}",
+        ])
+    print()
+    print(format_table(
+        ["rate/s", "offered", "accepted", "429", "done", "done/s", "shed", "p50 ms", "p99 ms"],
+        rows,
+    ))
+    out_dir = os.environ.get("REPRO_BENCH_OUT") or None
+    path = write_bench_json("service", report, directory=out_dir)
+    print(f"report: {path}")
+
+    assert report["contract_violations"] == [], report["contract_violations"]
+    assert report["ok"]
+    saturated = report["levels"][-1]
+    assert saturated["throughput_per_s"] < saturated["offered_rate_per_s"], (
+        "the top load level must be past saturation: delivered"
+        f" {saturated['throughput_per_s']:.2f}/s vs offered"
+        f" {saturated['offered_rate_per_s']:g}/s"
+    )
+    benchmark.extra_info["p50_ms_low"] = round((report["levels"][0]["latency_p50_s"] or 0) * 1e3, 1)
+    benchmark.extra_info["p99_ms_saturated"] = round((saturated["latency_p99_s"] or 0) * 1e3, 1)
+    benchmark.extra_info["throughput_saturated"] = round(saturated["throughput_per_s"], 2)
+    benchmark.extra_info["shed_rate_saturated"] = round(saturated["shed_rate"], 3)

@@ -40,7 +40,7 @@ def repro_workers() -> int:
     modeled times come from the simulator, not from wall-clock."""
     from repro.perf.fanout import resolve_workers
 
-    return resolve_workers(os.environ.get("REPRO_BENCH_WORKERS"))
+    return resolve_workers(os.environ.get("REPRO_BENCH_WORKERS"), source="REPRO_BENCH_WORKERS")
 
 
 @pytest.fixture

@@ -77,6 +77,16 @@ WHITELIST_PARTS = (
     "repro/perf/",
 )
 
+#: Modules that live in wall-clock time *on purpose* — operational code,
+#: not modeled paths — where the ND rules do not apply.  The service
+#: layer's quotas, deadlines, breaker cool-downs, and journal timestamps
+#: are real-time concerns; the solves it dispatches keep their own
+#: modeled clocks (bit-identical with the service's sync-poll hook
+#: active — pinned by tests/test_service.py).
+WALLCLOCK_PARTS = (
+    "repro/service/",
+)
+
 #: Constructor / owner-affinity signals that mark a name as shared.
 _SHARED_CTORS = {"shared_array", "SharedArray"}
 _SHARED_METHODS = {
@@ -232,9 +242,12 @@ def _terminates(nodes: Sequence[ast.stmt]) -> bool:
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, path: str, source: str, whitelisted: bool) -> None:
+    def __init__(
+        self, path: str, source: str, whitelisted: bool, wallclock: bool = False
+    ) -> None:
         self.path = path
         self.whitelisted = whitelisted
+        self.wallclock = wallclock
         self.waivers = _Waivers(source)
         self.findings: List[Finding] = []
         self._shared_stack: List[Set[str]] = [set()]
@@ -323,7 +336,11 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         fn = node.func
-        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        if (
+            not self.wallclock
+            and isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+        ):
             if fn.value.id == "time" and fn.attr in ("time", "time_ns"):
                 self._emit(
                     node,
@@ -365,13 +382,23 @@ def _is_whitelisted(path: Path) -> bool:
     return any(part in text for part in WHITELIST_PARTS)
 
 
+def _is_wallclock(path: Path) -> bool:
+    text = str(path.as_posix())
+    return any(part in text for part in WALLCLOCK_PARTS)
+
+
 def lint_file(path: Path) -> List[Finding]:
     source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as err:  # pragma: no cover - tree is syntax-clean
         return [Finding(str(path), err.lineno or 0, "CM00", f"syntax error: {err.msg}")]
-    linter = _FileLinter(str(path), source, whitelisted=_is_whitelisted(path))
+    linter = _FileLinter(
+        str(path),
+        source,
+        whitelisted=_is_whitelisted(path),
+        wallclock=_is_wallclock(path),
+    )
     linter.visit(tree)
     return linter.findings
 

@@ -1,0 +1,49 @@
+"""Crash- and concurrency-safe file writes.
+
+Several subsystems persist small artifacts that other processes read
+while they are being rewritten: the tuning :class:`~repro.tuning.cache.
+PlanCache`, benchmark ``BENCH_*.json`` reports, and cached benchmark
+graphs.  Concurrent soak/service/tune workers may write the same path
+at once, so every write goes through the same discipline:
+
+1. write the complete payload to a **unique** temp file in the target
+   directory (``tempfile.mkstemp`` — a *fixed* temp name would let
+   writer B truncate the file writer A is about to rename, leaving a
+   torn result);
+2. ``os.replace`` it over the destination — atomic on POSIX and
+   Windows, so readers observe either the old complete file or the new
+   complete file, never a prefix.
+
+Last rename wins; with deterministic writers (byte-identical payloads
+for identical inputs) the winner is indistinguishable anyway.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: "str | os.PathLike", data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def atomic_write_text(path: "str | os.PathLike", text: str) -> Path:
+    """Atomically replace ``path`` with UTF-8 ``text``; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from ..atomicio import atomic_write_text
 from ..graph.edgelist import EdgeList
 from ..graph.generators import hybrid_graph, random_graph, with_random_weights
 from ..graph.io import cached_graph
@@ -58,13 +59,13 @@ def write_bench_json(name: str, payload: dict, directory: "Path | None" = None) 
     The benchmarks print human tables; CI additionally wants structured
     numbers it can archive and diff across runs.  Files land next to the
     working directory by default (CI uploads them as artifacts) with
-    sorted keys, so identical results produce identical bytes.
+    sorted keys, so identical results produce identical bytes.  Writes
+    are atomic (unique temp + rename): concurrent soak/service workers
+    rewriting the same report can never leave a torn file behind.
     """
     directory = Path(directory) if directory is not None else Path.cwd()
-    directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, sort_keys=True, indent=1, default=float) + "\n")
-    return path
+    return atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=1, default=float) + "\n")
 
 
 def speedup(baseline_time: float, time: float) -> float:

@@ -13,6 +13,11 @@ Commands
               every result networkx-verified, report in ``BENCH_soak.json``
 ``perf``      wall-clock benchmark of the fast engine vs the legacy engine
               (bit-identical modeled time), report in ``BENCH_wallclock.json``
+``serve``     run the multi-tenant graph-analytics service (JSON over HTTP:
+              admission control, quotas, deadlines, circuit breakers,
+              graceful degradation, crash-safe job journal)
+``loadtest``  drive a running service with an open-loop arrival process at
+              several offered rates, report in ``BENCH_service.json``
 
 ``soak`` and ``tune`` accept ``--workers N`` (or ``auto``) to fan their
 independent runs across a process pool; reports are identical for any
@@ -340,6 +345,8 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
 def _cmd_soak(args: argparse.Namespace) -> int:
     from .integrity import SoakConfig, run_soak
 
+    if args.service:
+        return _cmd_soak_service(args)
     try:
         nodes_s, threads_s = args.machine.lower().split("x")
         nodes, threads = int(nodes_s), int(threads_s)
@@ -382,6 +389,121 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         print(f"\nFAIL: {bad} protected run(s) did not survive", file=sys.stderr)
         return 4
     print("\nall protected runs verified against networkx")
+    return 0
+
+
+def _cmd_soak_service(args: argparse.Namespace) -> int:
+    """``soak --service``: the same chaos, routed through the HTTP API."""
+    from .integrity import ServiceSoakConfig, run_service_soak
+
+    config = ServiceSoakConfig(
+        jobs=args.iterations,
+        seed=args.seed,
+        n=args.n,
+        density=args.density,
+        corruption=args.corruption,
+        payload_corruption=args.payload_corruption,
+        loss=args.loss,
+    )
+    print(banner(
+        f"service soak — {config.jobs} chaos job(s) through a live server"
+        f" (crash-restart: {config.restart})"
+    ))
+    report = run_service_soak(config, out_dir=args.out_dir)
+    s = report["summary"]
+    print(f"\nsubmitted : {s['submitted']} ({s['accepted']} accepted,"
+          f" {s['rejected_429']} over-quota/shed, {s['rejected_503']} breaker)")
+    print(f"outcomes  : {s['outcomes']}")
+    print(f"recovered : {s['recovered_after_restart']} orphan(s) after crash-restart")
+    print(f"report    : {report['path']}")
+    if s["violations"]:
+        for violation in s["violations"]:
+            print(f"violation : {violation}", file=sys.stderr)
+        print(f"\nFAIL: {len(s['violations'])} service-contract violation(s)", file=sys.stderr)
+        return 4
+    print("\nservice contract held: no crash, no unverified result, no lost job")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import BackoffPolicy, ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        backoff=BackoffPolicy(max_attempts=args.max_attempts),
+        journal_path=args.journal,
+        default_deadline_s=args.default_deadline,
+        verify=not args.no_verify,
+    )
+    server = ServiceServer(config)
+    host, port = server.address
+    print(banner(f"repro service — http://{host}:{port}"))
+    print(f"workers   : {config.workers}")
+    print(f"queue     : {config.queue_capacity} slots"
+          f" (degraded >= {config.degraded_at:.0%}, overload >= {config.overload_at:.0%})")
+    print(f"quota     : {config.quota_rate:g}/s per tenant, burst {config.quota_burst:g}")
+    print(f"journal   : {config.journal_path or '(disabled)'}")
+    if server.service.recovered_jobs:
+        print(f"recovered : {server.service.recovered_jobs} in-flight job(s) from the journal")
+    print("endpoints : POST /submit, GET /status/<job>, /result/<job>, /healthz, /metrics")
+    print("\nserving (Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .bench.harness import write_bench_json
+    from .service import LoadtestConfig, run_loadtest
+
+    config = LoadtestConfig(
+        base_url=args.url.rstrip("/"),
+        rates_per_s=tuple(args.rates),
+        jobs_per_level=args.jobs,
+        seed=args.seed,
+        n=args.n,
+        density=args.density,
+        machine=args.machine,
+        deadline_s=args.deadline,
+        fault_fraction=args.fault_fraction,
+    )
+    print(banner(
+        f"loadtest — {config.base_url}, rates {'/'.join(f'{r:g}' for r in config.rates_per_s)}"
+        f" jobs/s x {config.jobs_per_level} jobs"
+    ))
+    report = run_loadtest(config)
+    rows = []
+    for level in report["levels"]:
+        rows.append([
+            f"{level['offered_rate_per_s']:g}",
+            level["offered"],
+            level["accepted"],
+            level["rejected_429"],
+            level["completed"],
+            f"{level['throughput_per_s']:.2f}",
+            f"{level['shed_rate']:.0%}",
+            "-" if level["latency_p50_s"] is None else f"{level['latency_p50_s'] * 1e3:.0f}",
+            "-" if level["latency_p99_s"] is None else f"{level['latency_p99_s'] * 1e3:.0f}",
+        ])
+    print(format_table(
+        ["rate/s", "offered", "accepted", "429", "done", "done/s", "shed", "p50 ms", "p99 ms"],
+        rows,
+    ))
+    path = write_bench_json("service", report, directory=args.out_dir)
+    print(f"\nreport: {path}")
+    if report["contract_violations"]:
+        for violation in report["contract_violations"]:
+            print(f"violation: {violation}", file=sys.stderr)
+        print(
+            f"\nFAIL: {len(report['contract_violations'])} contract violation(s)",
+            file=sys.stderr,
+        )
+        return 4
+    print("contract held: every served result verified, server healthy throughout")
     return 0
 
 
@@ -606,6 +728,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=None,
         help="process-pool workers: an int or 'auto' (default: serial)",
     )
+    p_soak.add_argument(
+        "--service", action="store_true",
+        help="route the chaos through a live HTTP service instead of direct"
+        " solver calls (exercises admission control, shedding, and journal"
+        " crash-recovery; report in BENCH_service_soak.json)",
+    )
     p_soak.set_defaults(func=_cmd_soak)
 
     p_info = sub.add_parser("info", help="machine presets and calibration")
@@ -654,6 +782,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="previous BENCH_wallclock.json to gate against (>25%% slower fails, exit 5)",
     )
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant graph-analytics service (JSON over HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642, help="0 picks a free port")
+    p_serve.add_argument("--workers", type=int, default=2, help="solver worker threads")
+    p_serve.add_argument("--queue-capacity", type=int, default=64, help="bounded queue slots")
+    p_serve.add_argument(
+        "--quota-rate", type=float, default=10.0, help="per-tenant tokens per second"
+    )
+    p_serve.add_argument("--quota-burst", type=float, default=20.0, help="per-tenant burst size")
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=3, help="solve attempts per job (with backoff)"
+    )
+    p_serve.add_argument(
+        "--journal", default=None,
+        help="append-only job journal path (enables crash recovery on restart)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=30.0,
+        help="deadline (s) for jobs that do not set one",
+    )
+    p_serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip networkx verification of served results (not recommended;"
+        " results are marked 'unverified')",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest", help="open-loop load generator against a running service"
+    )
+    p_load.add_argument("--url", default="http://127.0.0.1:8642", help="service base URL")
+    p_load.add_argument(
+        "--rates", type=float, nargs="+", default=[2.0, 6.0, 18.0],
+        help="offered arrival rates (jobs/s), one level each — include one"
+        " past saturation",
+    )
+    p_load.add_argument("--jobs", type=int, default=30, help="jobs per level")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--n", type=int, default=512, help="vertex count per job")
+    p_load.add_argument("--density", type=float, default=4.0)
+    p_load.add_argument("--machine", default="4x2", help="cluster shape per job")
+    p_load.add_argument("--deadline", type=float, default=20.0, help="per-job deadline (s)")
+    p_load.add_argument(
+        "--fault-fraction", type=float, default=0.25,
+        help="fraction of jobs submitted with injected message loss",
+    )
+    p_load.add_argument("--out-dir", default=None, help="directory for BENCH_service.json")
+    p_load.set_defaults(func=_cmd_loadtest)
 
     p_an = sub.add_parser("analyze", help="static cost-model soundness lint")
     p_an.add_argument(

@@ -9,6 +9,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigError",
+    "UsageError",
     "DistributionError",
     "CollectiveError",
     "GraphError",
@@ -17,6 +18,7 @@ __all__ = [
     "FaultError",
     "ThreadCrash",
     "IntegrityError",
+    "JobCancelled",
 ]
 
 
@@ -26,6 +28,13 @@ class ReproError(Exception):
 
 class ConfigError(ReproError, ValueError):
     """An invalid machine, optimization, or solver configuration."""
+
+
+class UsageError(ConfigError):
+    """A malformed flag, environment variable, or service request
+    parameter — the *caller's* input is wrong, as opposed to an
+    internally inconsistent configuration.  The message names the
+    offending flag/variable/field so the fix is obvious."""
 
 
 class DistributionError(ReproError, ValueError):
@@ -82,6 +91,23 @@ class ThreadCrash(FaultError):
         self.thread = thread
         self.at_time = at_time
         self.recovery = recovery
+
+
+class JobCancelled(ReproError, RuntimeError):
+    """Control-flow signal for cooperative job cancellation.
+
+    Raised at runtime synchronization points (via the service's sync
+    watcher) when the active job's deadline expires or its cancel token
+    trips.  Deliberately *not* a :class:`FaultError`: the solvers'
+    checkpoint/replay handlers catch ``(ThreadCrash, IntegrityError)``
+    only, so a cancellation always unwinds out of the solve instead of
+    being absorbed by the repair machinery.
+    """
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"job {job_id} cancelled: {reason}")
+        self.job_id = job_id
+        self.reason = reason
 
 
 class IntegrityError(FaultError):

@@ -8,8 +8,10 @@ NumPy ``.npz`` with ``n``, ``u``, ``v`` and optionally ``w``.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
+import tempfile
 import zipfile
 from pathlib import Path
 from typing import Callable
@@ -25,16 +27,26 @@ __all__ = ["save_edgelist", "load_edgelist", "cached_graph"]
 
 
 def save_edgelist(graph: EdgeList, path: str | os.PathLike) -> None:
-    """Write ``graph`` to ``path`` (.npz, compressed)."""
+    """Write ``graph`` to ``path`` (.npz, compressed).
+
+    The write is atomic with a *unique* temp name, so concurrent bench
+    or service workers caching the same graph never interleave on a
+    shared temp file; last rename wins with identical bytes.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = {"n": np.int64(graph.n), "u": graph.u, "v": graph.v}
     if graph.w is not None:
         arrays["w"] = graph.w
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 def load_edgelist(path: str | os.PathLike) -> EdgeList:

@@ -10,7 +10,7 @@ chaos/soak harness that demonstrates them end to end.  See
 
 from .config import IntegrityConfig
 from .monitor import IntegrityMonitor, guard_payload
-from .soak import SoakConfig, run_soak
+from .soak import ServiceSoakConfig, SoakConfig, run_service_soak, run_soak
 
 __all__ = [
     "IntegrityConfig",
@@ -18,4 +18,6 @@ __all__ = [
     "guard_payload",
     "SoakConfig",
     "run_soak",
+    "run_service_soak",
+    "ServiceSoakConfig",
 ]

@@ -29,7 +29,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
-from ..errors import ConfigError
+from ..errors import ConfigError, UsageError
 
 __all__ = ["fanout_map", "resolve_workers", "available_cpus"]
 
@@ -45,23 +45,46 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def resolve_workers(workers) -> int:
+def resolve_workers(workers, source: "str | None" = None) -> int:
     """Normalize a ``--workers`` value to a concrete positive count.
 
-    ``None`` or ``0`` means serial (1).  ``"auto"`` (or a negative
-    count) means one worker per available CPU.  ``REPRO_PERF_WORKERS``
-    in the environment overrides ``None`` so harnesses can opt whole
-    test runs into fan-out without plumbing flags.
+    ``None`` means serial (1), unless ``REPRO_PERF_WORKERS`` is set in
+    the environment, which lets harnesses opt whole test runs into
+    fan-out without plumbing flags.  *String* values — CLI flags and
+    environment variables (``REPRO_PERF_WORKERS``,
+    ``REPRO_BENCH_WORKERS``) — are validated strictly: ``"auto"`` (one
+    worker per available CPU) or a positive integer; anything else
+    (non-integer, zero, negative) raises a clear
+    :class:`~repro.errors.UsageError` up front instead of crashing or
+    silently misbehaving mid-fanout.  ``source`` names the flag or
+    variable the value came from so the error says where to fix it.
+
+    Programmatic *integer* arguments keep the permissive API contract:
+    ``0`` means serial, a negative count means auto.
     """
     if workers is None:
         env = os.environ.get("REPRO_PERF_WORKERS", "").strip()
         if env:
             workers = env
+            source = source or "REPRO_PERF_WORKERS"
         else:
             return 1
     if isinstance(workers, str):
-        if workers.lower() == "auto":
+        where = f" (from {source})" if source else ""
+        text = workers.strip()
+        if text.lower() == "auto":
             return available_cpus()
+        try:
+            count = int(text)
+        except ValueError:
+            raise UsageError(
+                f"workers must be a positive integer or 'auto'{where}: got {workers!r}"
+            ) from None
+        if count < 1:
+            raise UsageError(
+                f"workers must be >= 1 or 'auto'{where}: got {count}"
+            )
+        return count
     try:
         workers = int(workers)
     except (TypeError, ValueError):

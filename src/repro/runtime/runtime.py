@@ -32,7 +32,26 @@ from .partitioned import PartitionedArray
 from .shared_array import SharedArray
 from .trace import Category, Counters, Trace
 
-__all__ = ["PGASRuntime"]
+__all__ = ["PGASRuntime", "set_sync_poll"]
+
+#: Optional observation-only callback invoked at every synchronization
+#: point (barrier / allreduce).  Installed by :mod:`repro.service.
+#: deadlines` for cooperative job cancellation; it must never charge
+#: modeled time or draw random numbers, so modeled results stay
+#: bit-identical with the hook on or off.  It may raise (e.g.
+#: :class:`~repro.errors.JobCancelled`) to unwind the enclosing solve.
+_SYNC_POLL: "Callable[[], None] | None" = None
+
+
+def set_sync_poll(fn: "Callable[[], None] | None") -> "Callable[[], None] | None":
+    """Install (or clear, with ``None``) the global sync-point poll.
+
+    Returns the previously installed poll so callers can restore it.
+    """
+    global _SYNC_POLL
+    previous = _SYNC_POLL
+    _SYNC_POLL = fn
+    return previous
 
 
 class PGASRuntime:
@@ -272,6 +291,8 @@ class PGASRuntime:
 
     def barrier(self) -> None:
         """Full barrier across all simulated threads."""
+        if _SYNC_POLL is not None:
+            _SYNC_POLL()
         self.clocks.barrier(self.cost.barrier_time())
         self.counters.add(barriers=1)
         # Close the detector epoch BEFORE crash polling: a ThreadCrash
@@ -300,6 +321,8 @@ class PGASRuntime:
             raise CollectiveError(
                 f"allreduce expects one flag per thread ({self.s}), got shape {flags.shape}"
             )
+        if _SYNC_POLL is not None:
+            _SYNC_POLL()
         rounds = int(np.ceil(np.log2(self.s))) if self.s > 1 else 0
         self.clocks.barrier(self.cost.barrier_time())
         self.charge(Category.SETUP, self.cost.allreduce_time())

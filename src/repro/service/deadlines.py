@@ -1,0 +1,188 @@
+"""Deadlines, cooperative cancellation, backoff, and circuit breaking.
+
+**Cancellation** is cooperative: a worker thread enters a
+:func:`cancel_scope` around the solve, which exposes its
+:class:`CancelToken` through a thread-local that the simulator polls at
+every synchronization point (:func:`repro.runtime.runtime.set_sync_poll`
+— observation-only, so modeled times are bit-identical with the hook on
+or off).  When the token's deadline passes — or someone calls
+:meth:`CancelToken.cancel` — the next barrier raises
+:class:`~repro.errors.JobCancelled`, which unwinds cleanly out of the
+solver (it is deliberately not a ``FaultError``, so the checkpoint /
+repair machinery never absorbs it).
+
+**Backoff** is deterministic exponential: ``base * factor**attempt``,
+capped.  No jitter — the service's retries are per-job sequential, not
+a thundering herd, and determinism keeps tests exact.
+
+**Circuit breaker** is per-tenant, counting *consecutive* failures:
+``closed -> open`` after ``failure_threshold`` failures, ``open ->
+half-open`` after ``reset_after`` seconds (one trial request), ``half-
+open -> closed`` on success / back to ``open`` on failure.  An open
+breaker fails the tenant's submissions fast with a Retry-After instead
+of burning worker time on jobs that keep dying under injected faults.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..errors import JobCancelled
+from ..runtime.runtime import set_sync_poll
+
+__all__ = ["CancelToken", "cancel_scope", "BackoffPolicy", "CircuitBreaker"]
+
+
+class CancelToken:
+    """Cancellation state for one job attempt."""
+
+    def __init__(
+        self,
+        job_id: str,
+        deadline_at: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.job_id = job_id
+        self.deadline_at = deadline_at
+        self._clock = clock
+        self._cancelled = threading.Event()
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelled` if cancelled or past deadline."""
+        if self._cancelled.is_set():
+            raise JobCancelled(self.job_id, self.reason or "cancelled")
+        if self.deadline_at is not None and self._clock() > self.deadline_at:
+            self.reason = "deadline exceeded"
+            self._cancelled.set()
+            raise JobCancelled(self.job_id, self.reason)
+
+
+_ACTIVE = threading.local()
+_install_lock = threading.Lock()
+_installed = False
+
+
+def _poll() -> None:
+    token = getattr(_ACTIVE, "token", None)
+    if token is not None:
+        token.check()
+
+
+def _ensure_poll_installed() -> None:
+    """Install the global sync-point poll once per process.
+
+    Left installed for the process lifetime: with no active token the
+    poll is a thread-local ``getattr`` — cheap, charge-free, and inert
+    for non-service solves.
+    """
+    global _installed
+    with _install_lock:
+        if not _installed:
+            set_sync_poll(_poll)
+            _installed = True
+
+
+@contextlib.contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Expose ``token`` to the simulator for the duration of a solve.
+
+    Scopes nest per-thread (the previous token is restored on exit);
+    each worker thread sees only its own job's token.
+    """
+    _ensure_poll_installed()
+    previous = getattr(_ACTIVE, "token", None)
+    _ACTIVE.token = token
+    try:
+        token.check()  # fail fast if already expired
+        yield token
+    finally:
+        _ACTIVE.token = previous
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Deterministic exponential backoff for job retries."""
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 2.0
+    max_attempts: int = 3
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return min(self.cap_s, self.base_s * self.factor ** attempt)
+
+
+class CircuitBreaker:
+    """Per-tenant consecutive-failure circuit breaker."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 4,
+        reset_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+        self.opens_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == self.OPEN and self._clock() - self._opened_at >= self.reset_after_s:
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> float:
+        """0.0 if a request may proceed, else seconds until retry.
+
+        In half-open state exactly one trial is admitted (the state
+        drops back to OPEN pending its outcome, so concurrent requests
+        keep failing fast until the trial reports).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return 0.0
+            if self._state == self.HALF_OPEN:
+                # Admit one trial; pessimistically re-open until it reports.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return 0.0
+            return max(0.0, self.reset_after_s - (self._clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold and self._state != self.OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens_total += 1

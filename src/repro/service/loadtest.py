@@ -1,0 +1,292 @@
+"""Open-loop load generator for the graph-analytics service.
+
+Drives a running server with a seeded Poisson arrival process at several
+offered rates — including one past saturation — and measures what the
+*service* delivers, not what the solvers could: accepted/429/shed
+splits, end-to-end p50/p99 latency of completed jobs, throughput, and
+the verified-result contract (every served result must carry
+``verify.status == "verified"``; a single violation fails the run).
+
+Open-loop matters: a closed-loop client slows down when the server slows
+down, hiding saturation.  Here arrivals are scheduled on a wall-clock
+timeline fixed *before* the first request, so an overloaded server faces
+the same offered rate as a healthy one and its admission control has to
+do the shedding.
+
+Everything uses the stdlib ``urllib`` — the loadtest is also the e2e
+exerciser in CI, where no HTTP client library is guaranteed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import UsageError
+
+__all__ = ["LoadtestConfig", "run_loadtest"]
+
+
+@dataclass(frozen=True)
+class LoadtestConfig:
+    """One loadtest campaign: the same job mix at several offered rates."""
+
+    base_url: str = "http://127.0.0.1:8642"
+    rates_per_s: Sequence[float] = (2.0, 6.0, 18.0)
+    jobs_per_level: int = 30
+    tenants: Sequence[str] = ("acme", "globex", "initech")
+    seed: int = 0
+    n: int = 512
+    density: float = 4.0
+    machine: str = "4x2"
+    deadline_s: float = 20.0
+    fault_fraction: float = 0.25       # fraction of jobs with injected loss
+    loss: float = 0.05
+    poll_timeout_s: float = 120.0
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.rates_per_s or any(r <= 0 for r in self.rates_per_s):
+            raise UsageError(f"rates must be positive: got {list(self.rates_per_s)}")
+        if self.jobs_per_level < 1:
+            raise UsageError(f"jobs_per_level must be >= 1: got {self.jobs_per_level}")
+        if not self.tenants:
+            raise UsageError("at least one tenant is required")
+
+
+def _http_json(url: str, payload: Optional[dict] = None, timeout: float = 30.0):
+    """(status, body) for a GET (payload None) or POST request."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:
+        try:
+            body = json.loads(err.read().decode("utf-8"))
+        except ValueError:
+            body = {"error": str(err)}
+        return err.code, body
+
+
+def _job_mix(config: LoadtestConfig, rng: random.Random, index: int) -> dict:
+    """Deterministic job body number ``index`` in the campaign mix."""
+    algo = rng.choice(("cc", "cc", "mst"))  # CC-heavy, like the paper's focus
+    priority = rng.choice(("low", "normal", "normal", "high"))
+    spec = {
+        "tenant": rng.choice(list(config.tenants)),
+        "algo": algo,
+        "n": config.n,
+        "density": config.density,
+        "kind": rng.choice(("random", "hybrid")),
+        "seed": rng.randrange(4),          # small pool -> graph-cache hits
+        "machine": config.machine,
+        "impl": "collective",
+        "opts": "all",
+        "priority": priority,
+        "deadline_s": config.deadline_s,
+    }
+    if rng.random() < config.fault_fraction:
+        spec["loss"] = config.loss
+        spec["fault_seed"] = index
+    return spec
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    values = sorted(values)
+    idx = min(len(values) - 1, max(0, int(round(q * (len(values) - 1)))))
+    return values[idx]
+
+
+@dataclass
+class _LevelStats:
+    offered: int = 0
+    accepted: int = 0
+    rejected_429: int = 0
+    rejected_503: int = 0
+    errors: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    contract_violations: List[str] = field(default_factory=list)
+
+
+def _submit_level(
+    config: LoadtestConfig, rate: float, rng: random.Random, stats: _LevelStats
+) -> List[str]:
+    """Fire one level's arrivals open-loop; returns accepted job ids."""
+    # The timeline is fixed up front: exponential gaps at the offered rate.
+    gaps = [rng.expovariate(rate) for _ in range(config.jobs_per_level)]
+    bodies = [_job_mix(config, rng, i) for i in range(config.jobs_per_level)]
+    start = time.monotonic()
+    deadline_for = []
+    t = 0.0
+    for gap in gaps:
+        t += gap
+        deadline_for.append(start + t)
+    job_ids: List[str] = []
+    lock = threading.Lock()
+
+    def fire(when: float, body: dict) -> None:
+        delay = when - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            status, reply = _http_json(f"{config.base_url}/submit", body)
+        except (OSError, ValueError) as err:
+            with lock:
+                stats.errors += 1
+                stats.contract_violations.append(f"transport error on submit: {err}")
+            return
+        with lock:
+            if status == 202:
+                stats.accepted += 1
+                job_ids.append(reply["job_id"])
+            elif status == 429:
+                stats.rejected_429 += 1
+            elif status == 503:
+                stats.rejected_503 += 1
+            else:
+                stats.errors += 1
+                stats.contract_violations.append(
+                    f"unexpected submit status {status}: {reply}"
+                )
+
+    # One thread per arrival keeps the loop open: a slow submit response
+    # never delays the next scheduled arrival.
+    threads = [
+        threading.Thread(target=fire, args=(when, body), daemon=True)
+        for when, body in zip(deadline_for, bodies)
+    ]
+    stats.offered = len(threads)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return job_ids
+
+
+def _drain_level(config: LoadtestConfig, job_ids: List[str], stats: _LevelStats) -> None:
+    """Poll accepted jobs to a terminal state; enforce the contract."""
+    from .jobs import JobState, TERMINAL_STATES
+
+    pending = list(job_ids)
+    give_up_at = time.monotonic() + config.poll_timeout_s
+    while pending and time.monotonic() < give_up_at:
+        still = []
+        for job_id in pending:
+            status, body = _http_json(f"{config.base_url}/status/{job_id}")
+            if status != 200:
+                stats.contract_violations.append(
+                    f"status for accepted job {job_id} returned {status}"
+                )
+                continue
+            state = body.get("state")
+            if state not in TERMINAL_STATES:
+                still.append(job_id)
+                continue
+            stats.outcomes[state] = stats.outcomes.get(state, 0) + 1
+            if state == JobState.DONE:
+                rstatus, rbody = _http_json(f"{config.base_url}/result/{job_id}")
+                if rstatus != 200:
+                    stats.contract_violations.append(
+                        f"done job {job_id} result returned {rstatus}"
+                    )
+                    continue
+                result = rbody.get("result") or {}
+                verify = (result.get("verify") or {}).get("status")
+                if verify != "verified":
+                    stats.contract_violations.append(
+                        f"job {job_id} served with verify status {verify!r}"
+                    )
+                if body.get("latency_s") is not None:
+                    stats.latencies_s.append(body["latency_s"])
+        pending = still
+        if pending:
+            time.sleep(config.poll_interval_s)
+    for job_id in pending:
+        stats.outcomes["unresolved"] = stats.outcomes.get("unresolved", 0) + 1
+        stats.contract_violations.append(
+            f"job {job_id} did not reach a terminal state within "
+            f"{config.poll_timeout_s:.0f}s"
+        )
+
+
+def run_loadtest(config: LoadtestConfig) -> dict:
+    """Run the campaign; returns the ``BENCH_service`` payload.
+
+    The caller decides what to do with ``contract_violations`` (the CLI
+    exits nonzero on any).  ``ok`` is True iff the server stayed up and
+    never served an unverified or wrong result.
+    """
+    try:
+        status, health = _http_json(f"{config.base_url}/healthz", timeout=5.0)
+    except OSError as err:
+        raise UsageError(
+            f"cannot reach a service at {config.base_url}: {err}"
+            " (start one with `python -m repro serve`)"
+        ) from None
+    if status != 200:
+        raise UsageError(f"service at {config.base_url} is not healthy: {status} {health}")
+    levels = []
+    violations: List[str] = []
+    for level_idx, rate in enumerate(config.rates_per_s):
+        rng = random.Random(f"{config.seed}:{level_idx}")
+        stats = _LevelStats()
+        wall_start = time.monotonic()
+        job_ids = _submit_level(config, rate, rng, stats)
+        _drain_level(config, job_ids, stats)
+        wall = time.monotonic() - wall_start
+        done = stats.outcomes.get("done", 0)
+        levels.append({
+            "offered_rate_per_s": rate,
+            "offered": stats.offered,
+            "accepted": stats.accepted,
+            "rejected_429": stats.rejected_429,
+            "rejected_503": stats.rejected_503,
+            "transport_errors": stats.errors,
+            "outcomes": dict(sorted(stats.outcomes.items())),
+            "completed": done,
+            "throughput_per_s": done / wall if wall > 0 else 0.0,
+            "shed_rate": (
+                (stats.rejected_429 + stats.outcomes.get("shed", 0)) / stats.offered
+                if stats.offered else 0.0
+            ),
+            "latency_p50_s": _percentile(stats.latencies_s, 0.50),
+            "latency_p99_s": _percentile(stats.latencies_s, 0.99),
+            "wall_s": wall,
+        })
+        violations.extend(stats.contract_violations)
+    mstatus, metrics = _http_json(f"{config.base_url}/metrics", timeout=5.0)
+    hstatus, _ = _http_json(f"{config.base_url}/healthz", timeout=5.0)
+    if hstatus != 200:
+        violations.append(f"server unhealthy after campaign: {hstatus}")
+    return {
+        "config": {
+            "rates_per_s": list(config.rates_per_s),
+            "jobs_per_level": config.jobs_per_level,
+            "tenants": list(config.tenants),
+            "seed": config.seed,
+            "n": config.n,
+            "density": config.density,
+            "machine": config.machine,
+            "deadline_s": config.deadline_s,
+            "fault_fraction": config.fault_fraction,
+            "loss": config.loss,
+        },
+        "levels": levels,
+        "server_metrics": metrics if mstatus == 200 else {"error": mstatus},
+        "contract_violations": violations,
+        "ok": not violations,
+    }

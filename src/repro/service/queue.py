@@ -1,0 +1,116 @@
+"""Bounded priority queue with admission control and shedding.
+
+The service's backlog is **bounded** — an overloaded server answers
+``429`` quickly instead of building an unbounded queue whose tail
+latency guarantees every deadline is missed (the service-level analogue
+of the paper's thesis: degrade gracefully under pressure rather than
+collapse).
+
+Admission outcomes for :meth:`AdmissionQueue.offer`:
+
+* ``accepted`` — there was room (or a lower-priority victim was shed);
+* ``shed:<victim-id>`` is reflected by the *victim's* state flipping to
+  ``shed`` (retriable), journaled by the caller;
+* ``rejected`` — the queue is full of work at equal or higher priority,
+  so the *incoming* job is refused with a Retry-After hint.
+
+Within a priority class, FIFO (submission sequence) order is preserved.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+from .jobs import Job, JobState
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Thread-safe bounded queue, highest priority first, FIFO within."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1: got {capacity}")
+        self.capacity = capacity
+        self._entries: List[Tuple[int, int, Job]] = []  # (priority_rank, seq, job)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.shed_total = 0
+        self.rejected_total = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1] — the degradation policy's input."""
+        with self._lock:
+            return len(self._entries) / self.capacity
+
+    def offer(self, job: Job) -> Tuple[str, Optional[Job]]:
+        """Try to enqueue ``job``.
+
+        Returns ``("accepted", shed_victim_or_None)`` or
+        ``("rejected", None)``.  When the queue is full, the
+        lowest-priority, youngest queued job is shed *iff* it ranks
+        strictly below the incoming job — shedding never evicts equal
+        or higher priority work, so a flood of low-priority traffic
+        cannot displace anything that matters.
+        """
+        with self._lock:
+            if self._closed:
+                self.rejected_total += 1
+                return "rejected", None
+            victim = None
+            if len(self._entries) >= self.capacity:
+                worst_idx = None
+                for idx, (rank, seq, queued) in enumerate(self._entries):
+                    if worst_idx is None:
+                        worst_idx = idx
+                    else:
+                        w_rank, w_seq, _ = self._entries[worst_idx]
+                        # Lowest rank loses; ties go to the youngest
+                        # (largest seq) so older accepted work survives.
+                        if (rank, -seq) < (w_rank, -w_seq):
+                            worst_idx = idx
+                if worst_idx is None or self._entries[worst_idx][0] >= job.spec.priority_rank:
+                    self.rejected_total += 1
+                    return "rejected", None
+                _, _, victim = self._entries.pop(worst_idx)
+                victim.transition(
+                    JobState.SHED,
+                    retriable=True,
+                    error="shed: displaced by higher-priority work under overload",
+                )
+                self.shed_total += 1
+            self._seq += 1
+            self._entries.append((job.spec.priority_rank, self._seq, job))
+            self._not_empty.notify()
+            return "accepted", victim
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the best entry (highest priority, FIFO within); ``None``
+        on timeout or when the queue is closed and drained."""
+        with self._not_empty:
+            if not self._entries and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._entries:
+                return None
+            best_idx = 0
+            for idx in range(1, len(self._entries)):
+                rank, seq, _ = self._entries[idx]
+                b_rank, b_seq, _ = self._entries[best_idx]
+                if (-rank, seq) < (-b_rank, b_seq):
+                    best_idx = idx
+            _, _, job = self._entries.pop(best_idx)
+            return job
+
+    def close(self) -> None:
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

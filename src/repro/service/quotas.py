@@ -1,0 +1,103 @@
+"""Per-tenant token-bucket quotas.
+
+Admission control's first gate: each tenant owns a token bucket with a
+steady refill ``rate`` (requests/second) and a ``burst`` capacity.  A
+submit costs one token; an empty bucket means ``429`` with a
+``Retry-After`` computed from the actual deficit, so well-behaved
+clients back off for exactly as long as the quota requires rather than
+guessing.
+
+The clock is injectable (monotonic seconds) so tests are deterministic;
+buckets refill lazily on access — there is no background thread to
+leak.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import UsageError
+
+__all__ = ["TokenBucket", "QuotaTable"]
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill.
+
+    ``try_acquire`` returns ``0.0`` on success or the number of seconds
+    until one full token will be available (the ``Retry-After`` hint).
+    """
+
+    def __init__(
+        self, rate: float, burst: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise UsageError(f"quota rate must be > 0 requests/second: got {rate}")
+        if burst < 1:
+            raise UsageError(f"quota burst must be >= 1: got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds to retry."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class QuotaTable:
+    """One bucket per tenant, created on first sight.
+
+    ``overrides`` pins specific tenants to a different (rate, burst) —
+    the knob for premium or abusive tenants; everyone else shares the
+    default shape (but not the same bucket: quotas isolate tenants from
+    each other, which is the entire point).
+    """
+
+    def __init__(
+        self,
+        rate: float = 10.0,
+        burst: float = 20.0,
+        overrides: "Optional[Dict[str, Tuple[float, float]]]" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._overrides = dict(overrides or {})
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(tenant, (self.rate, self.burst))
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def try_acquire(self, tenant: str) -> float:
+        """0.0 if ``tenant`` may submit now, else its Retry-After."""
+        return self.bucket(tenant).try_acquire()

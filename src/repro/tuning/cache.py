@@ -20,10 +20,12 @@ can't leave a half-written cache behind.
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..atomicio import atomic_write_text
 from ..runtime.machine import MachineConfig
 from .planner import TuningPlan, Workload
 from .probes import machine_fingerprint
@@ -84,6 +86,41 @@ class PlanCache:
             return None
         return plan
 
+    def nearest(
+        self, machine: MachineConfig, workload: Workload, within: float = 8.0
+    ) -> Optional[TuningPlan]:
+        """Best cached plan for the same *graph fingerprint family*.
+
+        The exact-key :meth:`get` misses whenever ``n``/``m`` differ at
+        all; under service degradation we would rather reuse the plan
+        tuned for the nearest input of the same ``kind`` ×
+        ``graph_kind`` on this machine than pay for probe solves.  The
+        nearest plan minimizes the log-space distance in ``(n, m)`` and
+        must lie within a factor of ``within`` on both axes (the
+        calibrated-scaling invariance keeps rankings stable across that
+        range); beyond it, ``None`` — a stale plan is worse than the
+        analytic default.
+        """
+        fingerprint = machine_fingerprint(machine)
+        best: Optional[TuningPlan] = None
+        best_dist = math.inf
+        for plan in self._plans.values():
+            w = plan.workload
+            if plan.machine_key != fingerprint:
+                continue
+            if w.kind != workload.kind or w.graph_kind != workload.graph_kind:
+                continue
+            if min(w.n, workload.n) <= 0 or min(w.m, 1) <= 0 or workload.m <= 0:
+                continue
+            ratio_n = abs(math.log(w.n / workload.n))
+            ratio_m = abs(math.log(max(w.m, 1) / workload.m))
+            if ratio_n > math.log(within) or ratio_m > math.log(within):
+                continue
+            dist = ratio_n + ratio_m
+            if dist < best_dist:
+                best, best_dist = plan, dist
+        return best
+
     def __len__(self) -> int:
         return len(self._plans)
 
@@ -106,8 +143,4 @@ class PlanCache:
             "plans": {key: self._plans[key].to_dict() for key in sorted(self._plans)},
         }
         text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(text)
-        os.replace(tmp, self.path)
-        return self.path
+        return atomic_write_text(self.path, text)

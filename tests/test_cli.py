@@ -247,6 +247,98 @@ class TestFailurePaths:
         assert "components:" in proc.stdout
 
 
+class TestServiceCommands:
+    """``serve`` / ``loadtest`` / ``soak --service`` failure paths and
+    exit codes (the happy paths are covered end-to-end in
+    tests/test_service.py and the CI service-smoke job)."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.journal is None
+
+    def test_loadtest_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.rates == [2.0, 6.0, 18.0]
+
+    def test_serve_occupied_port_exits_2(self, capsys):
+        """Binding a taken port must fail cleanly: exit 2, one 'error:'
+        line, no traceback — not a raw OSError."""
+        import socket
+
+        sock = socket.socket()
+        try:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            port = sock.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+        finally:
+            sock.close()
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot bind" in err
+
+    def test_loadtest_without_server_exits_2(self, capsys):
+        assert main(["loadtest", "--url", "http://127.0.0.1:1", "--rates", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_loadtest_rejects_bad_rates(self, capsys):
+        assert main(["loadtest", "--rates", "0", "--url", "http://127.0.0.1:1"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_soak_exit_4_on_unrepaired_wrong_result(self, capsys, monkeypatch, tmp_path):
+        """A soak whose protected runs produced a wrong or failed result
+        must exit 4 (the CI gate), not 0."""
+        import repro.integrity as integrity
+
+        def fake_run_soak(config, out_dir=None, workers=None, **kw):
+            return {
+                "summary": {
+                    "runs": 2, "protected_wrong": 1, "protected_failed": 0,
+                    "injected": 5, "detected": 4, "repairs": 4,
+                    "unprotected_runs": 0, "unprotected_wrong_or_error": 0,
+                },
+                "wallclock": {"seconds": 0.1, "workers": 1},
+                "path": str(tmp_path / "BENCH_soak.json"),
+            }
+
+        monkeypatch.setattr(integrity, "run_soak", fake_run_soak)
+        assert main(["soak", "--iterations", "1", "--out-dir", str(tmp_path)]) == 4
+        assert "did not survive" in capsys.readouterr().err
+
+    def test_service_soak_exit_4_on_contract_violation(self, capsys, monkeypatch, tmp_path):
+        import repro.integrity as integrity
+
+        def fake_service_soak(config, out_dir=None, **kw):
+            return {
+                "summary": {
+                    "submitted": 3, "accepted": 3, "rejected_429": 0,
+                    "rejected_503": 0, "unexpected": 0,
+                    "outcomes": {"done": 2}, "recovered_after_restart": 0,
+                    "violations": ["job job-x served with verify status None"],
+                },
+                "path": str(tmp_path / "BENCH_service_soak.json"),
+            }
+
+        monkeypatch.setattr(integrity, "run_service_soak", fake_service_soak)
+        assert main(["soak", "--service", "--iterations", "3"]) == 4
+        assert "violation" in capsys.readouterr().err
+
+    def test_tune_with_corrupt_cache_recovers(self, capsys, tmp_path, monkeypatch):
+        """A corrupt plan-cache file is not fatal: the tuner starts from
+        an empty cache, succeeds, and rewrites a valid one."""
+        import json
+
+        cache_path = tmp_path / "tune_cache.json"
+        cache_path.write_text('{"plans": [{"truncated...')
+        monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache_path))
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "bench"))
+        assert main(["tune", "--n", "2000", "--machine", "4x2"]) == 0
+        assert "selected:" in capsys.readouterr().out
+        json.loads(cache_path.read_text())  # rewritten, valid again
+
+
 class TestAutoMode:
     """``--impl/--opts/--tprime auto`` and the ``tune`` command."""
 

@@ -180,6 +180,31 @@ class TestFanout:
         # An explicit value beats the environment.
         assert resolve_workers(1) == 1
 
+    @pytest.mark.parametrize("value", ["0", "-2", "1.5", "many", ""])
+    def test_strings_are_validated_strictly(self, value):
+        """String inputs come from env vars and CLI flags, where silent
+        coercion hides typos: anything but 'auto' or an int >= 1 is a
+        UsageError naming the value."""
+        from repro.errors import UsageError
+
+        with pytest.raises(UsageError, match="auto"):
+            resolve_workers(value)
+
+    @pytest.mark.parametrize("value", ["0", "-3", "2.5", "lots"])
+    def test_env_values_are_validated_with_source(self, value, monkeypatch):
+        from repro.errors import UsageError
+
+        monkeypatch.setenv("REPRO_PERF_WORKERS", value)
+        with pytest.raises(UsageError, match="REPRO_PERF_WORKERS"):
+            resolve_workers(None)
+
+    def test_usage_error_is_a_config_error(self):
+        """UsageError subclasses ConfigError, so callers pinning the old
+        contract (ConfigError on garbage) keep working."""
+        from repro.errors import ConfigError, UsageError
+
+        assert issubclass(UsageError, ConfigError)
+
     def test_serial_map_preserves_order(self):
         assert fanout_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
 

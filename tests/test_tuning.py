@@ -237,6 +237,38 @@ class TestPlanCache:
         assert reloaded.to_dict() == plan.to_dict()
         assert reloaded.selected.config_label() == plan.selected.config_label()
 
+    def test_nearest_reuses_same_family_within_factor(self, tmp_path):
+        """Degraded-mode plan reuse: a miss on the exact (n, m) key falls
+        back to the closest cached plan of the same kind x graph_kind on
+        the same machine — within a bounded size ratio."""
+        machine = cluster_for_input(800, 4, 2)
+        cache = PlanCache(tmp_path / "c.json")
+        near = Workload(kind="cc", n=1000, m=4000)
+        far = Workload(kind="cc", n=100_000, m=400_000)
+        cache.put(machine, near, build_plan(near, machine, probe=False))
+        cache.put(machine, far, build_plan(far, machine, probe=False))
+
+        target = Workload(kind="cc", n=800, m=3200)
+        assert cache.get(machine, target) is None  # exact key misses
+        hit = cache.nearest(machine, target)
+        assert hit is not None
+        assert hit.workload == near  # closest in log-space, not the far one
+
+    def test_nearest_refuses_wrong_family_or_distance(self, tmp_path):
+        machine = cluster_for_input(800, 4, 2)
+        cache = PlanCache(tmp_path / "c.json")
+        mst = Workload(kind="mst", n=800, m=3200)
+        hybrid = Workload(kind="cc", n=800, m=3200, graph_kind="hybrid")
+        huge = Workload(kind="cc", n=800_000, m=3_200_000)
+        for w in (mst, hybrid, huge):
+            cache.put(machine, w, build_plan(w, machine, probe=False))
+
+        target = Workload(kind="cc", n=800, m=3200)
+        # Same n/m but wrong algo or graph family; same family but >8x away.
+        assert cache.nearest(machine, target) is None
+        other_machine = cluster_for_input(800, 2, 2)
+        assert cache.nearest(other_machine, Workload(kind="mst", n=800, m=3200)) is None
+
     def test_corrupt_cache_starts_empty_and_recovers(self, tmp_path):
         path = tmp_path / "c.json"
         path.write_text("{ this is not json")
