@@ -1,6 +1,6 @@
-"""PGAS sanitizer suite: epoch race detector + cost-model linter.
+"""PGAS sanitizer suite: race detector, cost-model linter, flow verifier.
 
-Two cooperating analyses keep the simulator honest:
+Three cooperating analyses keep the simulator honest:
 
 * :mod:`repro.analysis.race` — a dynamic, TSan-style epoch race detector
   (opt-in via ``PGASRuntime(analyze=True)`` or the :func:`analyzed`
@@ -8,11 +8,18 @@ Two cooperating analyses keep the simulator honest:
   writes that bypassed the collectives, and barrier divergence.
 * :mod:`repro.analysis.lint` — a static AST linter (``python -m repro
   analyze``) that flags uncharged shared accesses and nondeterminism
-  sources in modeled code paths.
+  sources in modeled code paths, one statement at a time.
+* :mod:`repro.analysis.flow` — an interprocedural static verifier (same
+  entrypoint) that propagates effect summaries through the call graph
+  to prove barrier/collective matching (SY), charge-coverage of tainted
+  shared data (CH), and fault-path safety (FX), driven by the
+  declarative effects registry in :mod:`repro.analysis.effects`.
 
 See ``docs/static-analysis.md`` for the rule catalog and waiver syntax.
 """
 
+from .effects import EFFECTS, Effect, registry_drift
+from .flow import FLOW_CATALOG, FunctionSummary, run_verify, verify_file
 from .lint import LINT_CATALOG, Finding, lint_file, run_lint
 from .race import (
     RACE_RULES,
@@ -27,8 +34,12 @@ from .race import (
 
 __all__ = [
     "AnalysisSession",
+    "EFFECTS",
+    "Effect",
     "EpochRaceDetector",
+    "FLOW_CATALOG",
     "Finding",
+    "FunctionSummary",
     "LINT_CATALOG",
     "RACE_RULES",
     "RULE_CATALOG",
@@ -36,6 +47,9 @@ __all__ = [
     "analyzed",
     "current_analysis",
     "lint_file",
+    "registry_drift",
     "render_reports",
     "run_lint",
+    "run_verify",
+    "verify_file",
 ]

@@ -17,8 +17,10 @@ Rule catalog
 ``ND01``  wall-clock nondeterminism (``time.time`` / ``time.time_ns``)
           in a modeled path (``time.perf_counter`` is exempt — it is the
           *reporting* clock for simulation overhead, never modeled time)
-``ND02``  seedless NumPy randomness: legacy ``np.random.<dist>()`` calls
-          or ``np.random.default_rng()`` with no seed argument
+``ND02``  seedless randomness: legacy ``np.random.<dist>()`` calls,
+          ``np.random.default_rng()`` with no seed argument, stdlib
+          global-state ``random.<dist>()`` samplers, and unseeded
+          ``random.Random()`` instances
 
 Waivers
 -------
@@ -47,45 +49,34 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Sequence, Set
+from typing import List, Sequence, Set
 
 from ..errors import ConfigError
+from .config import (
+    WALLCLOCK_PARTS,
+    WHITELIST_PARTS,
+    Waivers,
+    display_path,
+    is_wallclock,
+    is_whitelisted,
+)
 
-__all__ = ["Finding", "run_lint", "lint_file", "LINT_CATALOG"]
+__all__ = [
+    "Finding",
+    "run_lint",
+    "lint_file",
+    "LINT_CATALOG",
+    "WHITELIST_PARTS",
+    "WALLCLOCK_PARTS",
+]
 
 LINT_CATALOG = {
     "CM01": "uncharged subscripted SharedArray .data access outside the runtime whitelist",
     "CM02": "raw comm primitive on a shared array in a function that never charges",
     "CM03": "unbalanced barrier/collective calls along if/else branches",
     "ND01": "wall-clock time source in a modeled path",
-    "ND02": "seedless numpy randomness in a modeled path",
+    "ND02": "seedless randomness (numpy or stdlib) in a modeled path",
 }
-
-#: Modules allowed to touch ``SharedArray.data`` directly — they *are*
-#: the charged machinery (plus this analysis package itself).
-WHITELIST_PARTS = (
-    "repro/runtime/",
-    "repro/collectives/",
-    "repro/analysis/",
-    "repro/scheduling/",
-    "repro/faults/",
-    "repro/integrity/",
-    # Wall-clock machinery: the arena, the memoized derived-artifact
-    # caches, and the golden/bench harnesses operate on raw buffers by
-    # design and never produce charged time (the golden suite exists to
-    # prove exactly that).
-    "repro/perf/",
-)
-
-#: Modules that live in wall-clock time *on purpose* — operational code,
-#: not modeled paths — where the ND rules do not apply.  The service
-#: layer's quotas, deadlines, breaker cool-downs, and journal timestamps
-#: are real-time concerns; the solves it dispatches keep their own
-#: modeled clocks (bit-identical with the service's sync-poll hook
-#: active — pinned by tests/test_service.py).
-WALLCLOCK_PARTS = (
-    "repro/service/",
-)
 
 #: Constructor / owner-affinity signals that mark a name as shared.
 _SHARED_CTORS = {"shared_array", "SharedArray"}
@@ -138,6 +129,17 @@ _SYNC_FNS = {"barrier", "allreduce_flag", "getd", "setd", "setdmin"}
 #: Legacy np.random attributes that are fine (not samplers).
 _ND_OK = {"default_rng", "SeedSequence", "Generator", "BitGenerator", "PCG64", "Philox"}
 
+#: Stdlib ``random`` module attributes that are fine when called: class
+#: constructors (flagged separately when seedless) and state plumbing —
+#: everything else on the module is a global-state sampler.
+_STDLIB_RANDOM_OK = {
+    "Random",
+    "SystemRandom",
+    "seed",
+    "getstate",
+    "setstate",
+}
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -160,39 +162,12 @@ def _call_name(node: ast.Call) -> str:
     return ""
 
 
-class _Waivers:
-    """Per-file waiver comments, resolved by line number."""
-
-    def __init__(self, source: str) -> None:
-        self.charged_local: Set[int] = set()
-        self.by_rule: dict[int, Set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            if "# repro:" not in text:
-                continue
-            tag = text.split("# repro:", 1)[1].strip()
-            if tag.startswith("charged-local"):
-                self.charged_local.add(lineno)
-            elif tag.startswith("waive["):
-                rule = tag[len("waive[") :].split("]", 1)[0].strip()
-                self.by_rule.setdefault(lineno, set()).add(rule)
-
-    def _lines(self, node: ast.AST) -> Iterable[int]:
-        lineno = getattr(node, "lineno", 0)
-        end = getattr(node, "end_lineno", lineno) or lineno
-        return (lineno, end, lineno - 1)
-
-    def waives(self, node: ast.AST, rule: str) -> bool:
-        for line in self._lines(node):
-            if rule in self.by_rule.get(line, ()):
-                return True
-            if rule in ("CM01", "CM02") and line in self.charged_local:
-                return True
-        return False
-
-
-def _infer_shared_names(fn: ast.AST, inherited: Set[str]) -> Set[str]:
+def _infer_shared_names(
+    fn: ast.AST, inherited: Set[str], methods: Set[str] = _SHARED_METHODS
+) -> Set[str]:
     """Names bound to shared arrays within ``fn`` (plus ``inherited``
-    names closed over from the enclosing function)."""
+    names closed over from the enclosing function).  ``methods`` is the
+    owner-affinity signal set — the flow verifier passes a wider one."""
     shared = set(inherited)
     for node in ast.walk(fn):
         if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
@@ -204,7 +179,7 @@ def _infer_shared_names(fn: ast.AST, inherited: Set[str]) -> Set[str]:
             fn_name = _call_name(node)
             if (
                 isinstance(node.func, ast.Attribute)
-                and node.func.attr in _SHARED_METHODS
+                and node.func.attr in methods
                 and isinstance(node.func.value, ast.Name)
             ):
                 shared.add(node.func.value.id)
@@ -248,7 +223,7 @@ class _FileLinter(ast.NodeVisitor):
         self.path = path
         self.whitelisted = whitelisted
         self.wallclock = wallclock
-        self.waivers = _Waivers(source)
+        self.waivers = Waivers(source)
         self.findings: List[Finding] = []
         self._shared_stack: List[Set[str]] = [set()]
 
@@ -374,30 +349,41 @@ class _FileLinter(ast.NodeVisitor):
                 f"legacy global-state np.random.{fn.attr}(); use a seeded "
                 "np.random.default_rng(seed) Generator",
             )
+        if (
+            isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "random"
+        ):
+            if fn.attr not in _STDLIB_RANDOM_OK:
+                self._emit(
+                    node,
+                    "ND02",
+                    f"global-state random.{fn.attr}() draws from the shared "
+                    "seedless stream; use a seeded random.Random(seed) "
+                    "instance",
+                )
+            elif fn.attr == "Random" and not node.args and not node.keywords:
+                self._emit(
+                    node,
+                    "ND02",
+                    "random.Random() without a seed; pass an explicit seed "
+                    "so runs are reproducible",
+                )
         self.generic_visit(node)
-
-
-def _is_whitelisted(path: Path) -> bool:
-    text = str(path.as_posix())
-    return any(part in text for part in WHITELIST_PARTS)
-
-
-def _is_wallclock(path: Path) -> bool:
-    text = str(path.as_posix())
-    return any(part in text for part in WALLCLOCK_PARTS)
 
 
 def lint_file(path: Path) -> List[Finding]:
     source = path.read_text()
+    shown = display_path(path)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as err:  # pragma: no cover - tree is syntax-clean
-        return [Finding(str(path), err.lineno or 0, "CM00", f"syntax error: {err.msg}")]
+        return [Finding(shown, err.lineno or 0, "CM00", f"syntax error: {err.msg}")]
     linter = _FileLinter(
-        str(path),
+        shown,
         source,
-        whitelisted=_is_whitelisted(path),
-        wallclock=_is_wallclock(path),
+        whitelisted=is_whitelisted(path),
+        wallclock=is_wallclock(path),
     )
     linter.visit(tree)
     return linter.findings

@@ -1,0 +1,38 @@
+"""Seeded SY defects: collective sequences that diverge across threads.
+
+Parsed by the flow verifier in tests — never imported or executed.
+Every function here contains exactly the kind of bug the SY rules
+exist to catch; ``divergent_loop_clean.py`` holds the corrected twins.
+"""
+
+from repro.collectives import getd, setd
+
+
+def relax_until_locally_quiet(rt, d, idx):
+    """SY02: collective in the loop body, but each thread decides the
+    exit from its *own* view of the labels — thread 0 can leave after
+    round 3 while thread 1 enters round 4's getd and blocks forever."""
+    moved = d.local_view(rt.me)
+    while moved.any():
+        grand = getd(rt, d, idx)
+        moved = grand != d.local_view(rt.me)
+
+
+def graft_if_mine(rt, d, idx, proposals):
+    """SY01: branch on per-thread data; one arm runs setd, the other a
+    barrier — threads taking different arms mismatch collectives."""
+    mine = d.local_view(rt.me)
+    if mine.any():
+        setd(rt, d, idx, proposals)
+    else:
+        rt.barrier()
+
+
+def settle_or_bail(rt, d, idx):
+    """SY03: threads with an empty local block return early and skip
+    the setd the remaining threads still execute."""
+    mine = d.local_view(rt.me)
+    if not mine.any():
+        return 0
+    setd(rt, d, idx, mine)
+    return 1

@@ -1,0 +1,29 @@
+"""Clean twins of ``divergent_loop.py``: the same loops and branches,
+terminated through uniform collective verdicts — the canonical idiom
+the SY rules must accept without waivers."""
+
+from repro.collectives import getd, setd
+
+
+def relax_until_globally_quiet(rt, d, idx):
+    """The exit verdict is an allreduce: every thread sees the same
+    flag, so all threads run the same number of collective rounds."""
+    while True:
+        grand = getd(rt, d, idx)
+        moved = grand != d.local_view(rt.me)
+        if not rt.allreduce_flag(moved.any()):
+            break
+
+
+def graft_all(rt, d, idx, proposals):
+    """Both collectives run unconditionally — nothing to diverge on."""
+    setd(rt, d, idx, proposals)
+    rt.barrier()
+
+
+def settle_all(rt, d, idx):
+    """Every thread participates in the setd; the per-thread count is
+    returned without skipping any collective."""
+    mine = d.local_view(rt.me)
+    setd(rt, d, idx, mine)
+    return int(mine.size)

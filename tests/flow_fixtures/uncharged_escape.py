@@ -1,0 +1,28 @@
+"""Seeded CH defects: shared-array data escapes with no dominating
+charge — the modeled milliseconds silently miss these accesses.
+
+Parsed by the flow verifier in tests — never imported or executed.
+``uncharged_escape_clean.py`` holds the corrected twins.
+"""
+
+
+def peek_head(d):
+    """CH01: hands per-thread shared data back to the caller without
+    ever charging the cost model."""
+    head = d.local_view(0)
+    return head
+
+
+def fetch_remote(rt, d, idx):
+    """CH02 (and CH01): raw gather moves shared data with no charge
+    before it on any path, then the uncharged values escape."""
+    vals = d.gather(idx)
+    return vals
+
+
+def first_if_profiling(rt, d):
+    """CH01 via path divergence: only the profiled path charges, so
+    the plain path returns shared data unaccounted."""
+    if rt.profile:
+        rt.charge_thread(1.0)
+    return d.snapshot()

@@ -1,0 +1,21 @@
+"""Clean twins of ``uncharged_escape.py``: identical data movement,
+with a charge dominating every escape."""
+
+
+def peek_head_charged(rt, d):
+    head = d.local_view(0)
+    rt.charge_thread(float(head.size))
+    return head
+
+
+def fetch_remote_charged(rt, d, idx):
+    rt.charge_comm(float(idx.size))
+    vals = d.gather(idx)
+    return vals
+
+
+def first_always_charged(rt, d):
+    rt.charge_thread(1.0)
+    if rt.profile:
+        rt.charge_thread(1.0)
+    return d.snapshot()

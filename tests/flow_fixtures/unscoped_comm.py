@@ -1,0 +1,27 @@
+"""Seeded FX defect: a checkpointing solver with a faultable collective
+outside its recovery ``try`` — an injected crash there escapes replay.
+
+Parsed by the flow verifier in tests — never imported or executed.
+``unscoped_comm_clean.py`` holds the corrected twin.
+"""
+
+from repro.collectives import getd, setd
+from repro.errors import IntegrityError, ThreadCrash
+from repro.faults.checkpoint import RoundCheckpointer
+
+
+def fragile_rounds(rt, d, idx, vals):
+    """FX01: the getd sits between the checkpoint save and the guarded
+    region, so a crash inside it is never caught and replayed."""
+    ck = RoundCheckpointer(rt, enabled=True)
+    while True:
+        ck.save(arrays={"d": d.data})
+        fetched = getd(rt, d, idx)
+        try:
+            setd(rt, d, idx, vals)
+            done = not rt.allreduce_flag(fetched > 0)
+        except (ThreadCrash, IntegrityError):
+            ck.restore()
+            continue
+        if done:
+            break

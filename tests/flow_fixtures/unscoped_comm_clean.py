@@ -1,0 +1,21 @@
+"""Clean twin of ``unscoped_comm.py``: every faultable effect of the
+round — the getd included — sits inside the recovery ``try``."""
+
+from repro.collectives import getd, setd
+from repro.errors import IntegrityError, ThreadCrash
+from repro.faults.checkpoint import RoundCheckpointer
+
+
+def guarded_rounds(rt, d, idx, vals):
+    ck = RoundCheckpointer(rt, enabled=True)
+    while True:
+        ck.save(arrays={"d": d.data})
+        try:
+            fetched = getd(rt, d, idx)
+            setd(rt, d, idx, vals)
+            done = not rt.allreduce_flag(fetched > 0)
+        except (ThreadCrash, IntegrityError):
+            ck.restore()
+            continue
+        if done:
+            break

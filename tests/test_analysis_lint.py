@@ -246,6 +246,45 @@ class TestND:
         )
         assert findings == []
 
+    def test_stdlib_global_random_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def kernel():
+                return random.random() < 0.5
+            """,
+        )
+        assert rules(findings) == ["ND02"]
+        assert "random.random()" in findings[0].message
+
+    def test_stdlib_seedless_instance_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def kernel():
+                rng = random.Random()
+                return rng.random()
+            """,
+        )
+        assert rules(findings) == ["ND02"]
+
+    def test_stdlib_seeded_instance_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def kernel(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+        )
+        assert findings == []
+
 
 class TestWaivers:
     def test_charged_local_waives_cm01(self, tmp_path):
@@ -287,6 +326,27 @@ class TestWaivers:
             """,
         )
         assert rules(findings) == ["CM01"]
+
+
+class TestSharedConfig:
+    def test_lint_and_flow_share_scoping_predicates(self):
+        """One source of truth: both analyses import the whitelist and
+        waiver machinery from ``repro.analysis.config``."""
+        from repro.analysis import config, flow, lint
+
+        assert lint.WHITELIST_PARTS is config.WHITELIST_PARTS
+        assert lint.WALLCLOCK_PARTS is config.WALLCLOCK_PARTS
+        assert lint.is_whitelisted is config.is_whitelisted
+        assert flow.is_whitelisted is config.is_whitelisted
+        assert flow.Waivers is config.Waivers
+
+    def test_run_lint_order_is_path_stable(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            (tmp_path / name).write_text(
+                "def f(rt):\n    d = rt.shared_array(x)\n    d.data[0] = 1\n"
+            )
+        findings = run_lint([tmp_path])
+        assert [Path(f.path).name for f in findings] == ["a.py", "b.py"]
 
 
 class TestTreeAndCli:

@@ -237,6 +237,32 @@ class TestFailurePaths:
         self.assert_clean_failure(proc)
         assert proc.returncode == 2
 
+    def test_analyze_unknown_rule(self, tmp_path):
+        (tmp_path / "ok.py").write_text("def f():\n    return 0\n")
+        proc = run_cli("analyze", "--rules", "SY99", str(tmp_path))
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+        assert proc.stderr.strip().startswith("error:")
+        assert "unknown rule" in proc.stderr and "SY99" in proc.stderr
+
+    def test_analyze_missing_baseline(self, tmp_path):
+        (tmp_path / "ok.py").write_text("def f():\n    return 0\n")
+        proc = run_cli(
+            "analyze", "--baseline", str(tmp_path / "nope.json"), str(tmp_path)
+        )
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+        assert proc.stderr.strip().startswith("error:")
+
+    def test_analyze_malformed_baseline(self, tmp_path):
+        (tmp_path / "ok.py").write_text("def f():\n    return 0\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 1, "findings": [{"truncated...')
+        proc = run_cli("analyze", "--baseline", str(baseline), str(tmp_path))
+        self.assert_clean_failure(proc)
+        assert proc.returncode == 2
+        assert proc.stderr.strip().startswith("error:")
+
     def test_missing_command(self):
         proc = run_cli()
         self.assert_clean_failure(proc)
@@ -245,6 +271,84 @@ class TestFailurePaths:
         proc = run_cli("cc", "--n", "1000", "--machine", "2x2")
         assert proc.returncode == 0
         assert "components:" in proc.stdout
+
+
+class TestAnalyzeCli:
+    """The merged lint+flow ``analyze`` command: formats, rule filters,
+    and the baseline workflow."""
+
+    @pytest.fixture
+    def dirty_dir(self, tmp_path):
+        """One lint defect (CM01) and one flow defect (CH01)."""
+        (tmp_path / "store.py").write_text(
+            "def f(rt):\n    d = rt.shared_array(x)\n    d.data[0] = 1\n"
+        )
+        (tmp_path / "peek.py").write_text(
+            "def peek(d):\n    return d.local_view(0)\n"
+        )
+        return tmp_path
+
+    def test_analyze_reports_both_analyses(self, dirty_dir, capsys):
+        assert main(["analyze", str(dirty_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CM01" in out and "CH01" in out
+
+    def test_rules_filter_narrows_findings(self, dirty_dir, capsys):
+        assert main(["analyze", "--rules", "CH01", str(dirty_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CH01" in out and "CM01" not in out
+
+    def test_rules_filter_can_select_to_clean(self, dirty_dir, capsys):
+        assert main(["analyze", "--rules", "ND01,SY01", str(dirty_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_format_json_is_parseable(self, dirty_dir, capsys):
+        import json
+
+        assert main(["analyze", "--format", "json", str(dirty_dir)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 2
+        assert {f["rule"] for f in doc["findings"]} == {"CM01", "CH01"}
+
+    def test_format_sarif_is_parseable(self, dirty_dir, capsys):
+        import json
+
+        assert main(["analyze", "--format", "sarif", str(dirty_dir)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        assert {r["ruleId"] for r in run["results"]} == {"CM01", "CH01"}
+
+    def test_format_sarif_clean_tree_has_no_results(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "ok.py").write_text("def f():\n    return 0\n")
+        assert main(["analyze", "--format", "sarif", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_write_baseline_then_suppress_roundtrip(self, dirty_dir, capsys):
+        baseline = dirty_dir / "baseline.json"
+        assert main(
+            ["analyze", "--write-baseline", str(baseline), str(dirty_dir)]
+        ) == 0
+        assert "wrote 2 finding(s)" in capsys.readouterr().out
+        assert main(["analyze", "--baseline", str(baseline), str(dirty_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_baseline_does_not_mask_new_findings(self, dirty_dir, capsys):
+        baseline = dirty_dir / "baseline.json"
+        assert main(
+            ["analyze", "--write-baseline", str(baseline), str(dirty_dir)]
+        ) == 0
+        (dirty_dir / "fresh.py").write_text(
+            "def g(d, idx):\n    return d.gather(idx)\n"
+        )
+        capsys.readouterr()
+        assert main(["analyze", "--baseline", str(baseline), str(dirty_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out and "CM01" not in out
 
 
 class TestServiceCommands:
