@@ -73,6 +73,7 @@ from .graph import (
     EdgeList,
     hybrid_graph,
     load_edgelist,
+    powerlaw_graph,
     random_graph,
     save_edgelist,
     with_random_weights,
@@ -149,6 +150,7 @@ __all__ = [
     "load_edgelist",
     "machine_for_input",
     "minimum_spanning_forest",
+    "powerlaw_graph",
     "profiled",
     "random_graph",
     "render_phases",

@@ -164,6 +164,7 @@ EFFECTS: dict[str, Effect] = {
     "resync": _integ(charges=True),
     "on_barrier": _integ(charges=True, faultable=True),
     "verify_cc_round": _integ(charges=True, faultable=True),
+    "verify_lt_round": _integ(charges=True, faultable=True),
     "verify_star_round": _integ(charges=True, faultable=True),
     "verify_mst_selection": _integ(charges=True, faultable=True),
     "guard_payload": _integ(charges=True, faultable=True),

@@ -59,7 +59,8 @@ matching the linter's CM03 convention.  Waivers use the shared
 
 Scope: summaries are computed for every scanned file, but findings are
 only emitted for the solver packages the call graph serves (``cc/``,
-``mst/``, ``bfs/``, ``listrank/`` — :data:`FLOW_CHECKED_PARTS`) and for
+``lt/``, ``mst/``, ``bfs/``, ``listrank/`` — :data:`FLOW_CHECKED_PARTS`)
+and for
 files outside the ``repro`` package entirely (fixtures, user code).
 """
 
@@ -92,6 +93,7 @@ FLOW_CATALOG = {
 #: are always checked.
 FLOW_CHECKED_PARTS = (
     "repro/cc/",
+    "repro/lt/",
     "repro/mst/",
     "repro/bfs/",
     "repro/listrank/",

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 
 from ..atomicio import atomic_write_text
 from ..graph.edgelist import EdgeList
-from ..graph.generators import hybrid_graph, random_graph, with_random_weights
+from ..graph.generators import hybrid_graph, powerlaw_graph, random_graph, with_random_weights
 from ..graph.io import cached_graph
 from .report import format_table
 
@@ -35,14 +35,17 @@ def bench_graph(
 ) -> EdgeList:
     """Deterministic benchmark input, cached on disk.
 
-    ``kind`` is ``'random'`` or ``'hybrid'`` (the paper's two families).
+    ``kind`` is ``'random'`` or ``'hybrid'`` (the paper's two families)
+    or ``'powerlaw'`` (the heavy-tailed stress input).
     """
     if kind == "random":
         builder = lambda: random_graph(n, m, seed)  # noqa: E731
     elif kind == "hybrid":
         builder = lambda: hybrid_graph(n, m, seed)  # noqa: E731
+    elif kind == "powerlaw":
+        builder = lambda: powerlaw_graph(n, m, seed)  # noqa: E731
     else:
-        raise ValueError(f"unknown graph kind {kind!r}; use 'random' or 'hybrid'")
+        raise ValueError(f"unknown graph kind {kind!r}; use 'random', 'hybrid', or 'powerlaw'")
     tag = f"{kind}_n{n}_m{m}_s{seed}{'_w' if weighted else ''}.npz"
     path = bench_cache_dir() / tag
 

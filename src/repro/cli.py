@@ -51,7 +51,7 @@ from .core import (
 )
 from .core.results import SolveInfo
 from .errors import ReproError
-from .graph import hybrid_graph, random_graph, with_random_weights
+from .graph import hybrid_graph, powerlaw_graph, random_graph, with_random_weights
 from .runtime import hps_cluster, sequential_machine, smp_node
 
 __all__ = ["main", "build_parser"]
@@ -61,7 +61,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=50_000, help="vertex count")
     parser.add_argument("--density", type=float, default=4.0, help="edges per vertex (m/n)")
     parser.add_argument(
-        "--kind", choices=("random", "hybrid"), default="random", help="input family"
+        "--kind", choices=("random", "hybrid", "powerlaw"), default="random", help="input family"
     )
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument(
@@ -187,8 +187,8 @@ def _parse_opts(spec: str, hierarchical: bool):
 
 def _build_graph(args: argparse.Namespace, weighted: bool):
     n, m = args.n, int(args.density * args.n)
-    builder = random_graph if args.kind == "random" else hybrid_graph
-    g = builder(n, m, seed=args.seed)
+    builders = {"random": random_graph, "hybrid": hybrid_graph, "powerlaw": powerlaw_graph}
+    g = builders[args.kind](n, m, seed=args.seed)
     return with_random_weights(g, seed=args.seed + 1) if weighted else g
 
 
@@ -778,7 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("--n", type=int, default=100_000)
     p_info.add_argument("--density", type=float, default=4.0, help="edges per vertex (m/n)")
     p_info.add_argument(
-        "--kind", choices=("random", "hybrid"), default="random", help="input family"
+        "--kind", choices=("random", "hybrid", "powerlaw"), default="random", help="input family"
     )
     p_info.add_argument(
         "--machine",

@@ -14,19 +14,10 @@ returning.
 
 from __future__ import annotations
 
-from ..cc.cgm import solve_cc_cgm
-from ..cc.collective import solve_cc_collective
-from ..cc.naive_upc import solve_cc_naive_upc
-from ..cc.sequential import solve_cc_sequential
-from ..cc.smp import solve_cc_smp
-from ..cc.sv import solve_cc_sv
+from ..algorithms import REGISTRY, get_algorithm, implementations
 from ..errors import ConfigError
 from ..graph.edgelist import EdgeList
 from ..graph.validation import check_connected_counts
-from ..mst.collective import solve_mst_collective
-from ..mst.naive_upc import solve_mst_naive_upc
-from ..mst.sequential import solve_mst_sequential
-from ..mst.smp import solve_mst_smp
 from ..mst.verify import check_spanning_forest
 from ..runtime.machine import MachineConfig
 from .optimizations import OptimizationFlags
@@ -99,8 +90,37 @@ __all__ = [
     "MST_IMPLS",
 ]
 
-CC_IMPLS = ("collective", "sv", "naive", "smp", "sequential", "cgm", "auto")
-MST_IMPLS = ("collective", "naive", "smp", "kruskal", "prim", "boruvka", "auto")
+#: Public impl names: the registry's entries plus the ``'auto'`` mode
+#: (which is pipeline dispatch, not an algorithm — the tuner resolves it
+#: to a registered name before the solver runs).
+CC_IMPLS = implementations("cc") + ("auto",)
+MST_IMPLS = implementations("mst") + ("auto",)
+
+
+def _dispatch(kind, impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity):
+    """Resolve ``impl`` through :mod:`repro.algorithms` and run it, with
+    capability gates replacing the old hard-coded impl lists."""
+    spec = get_algorithm(kind, impl)
+    if faults is not None and not spec.supports_faults:
+        supported = tuple(
+            s.name for (k, _), s in REGISTRY.items() if k == kind and s.supports_faults
+        )
+        raise ConfigError(
+            f"fault injection is not supported for {kind.upper()} impl {impl!r};"
+            f" use one of {supported}"
+        )
+    if integrity is not None and not spec.supports_integrity:
+        supported = tuple(
+            s.name for (k, _), s in REGISTRY.items() if k == kind and s.supports_integrity
+        )
+        raise ConfigError(
+            f"integrity protection is not supported for {kind.upper()} impl {impl!r};"
+            f" use one of {supported}"
+        )
+    return spec.solve(
+        graph, machine, opts, tprime, sort_method,
+        faults, adapter if spec.supports_adapter else None, integrity,
+    )
 
 
 def connected_components(
@@ -149,32 +169,9 @@ def connected_components(
     impl, opts, tprime, adapter = _resolve_auto(
         "cc", graph, machine, impl, opts, tprime, graph_kind, adapt
     )
-    if faults is not None and impl not in ("collective", "naive", "smp"):
-        raise ConfigError(
-            f"fault injection is not supported for CC impl {impl!r};"
-            " use 'collective', 'naive', or 'smp'"
-        )
-    if integrity is not None and impl != "collective":
-        raise ConfigError(
-            f"integrity protection is not supported for CC impl {impl!r}; use 'collective'"
-        )
-    if impl == "collective":
-        result = solve_cc_collective(
-            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter,
-            integrity=integrity,
-        )
-    elif impl == "sv":
-        result = solve_cc_sv(graph, machine, opts, tprime, sort_method)
-    elif impl == "naive":
-        result = solve_cc_naive_upc(graph, machine, faults=faults)
-    elif impl == "smp":
-        result = solve_cc_smp(graph, machine, faults=faults)
-    elif impl == "sequential":
-        result = solve_cc_sequential(graph, machine)
-    elif impl == "cgm":
-        result = solve_cc_cgm(graph, machine)
-    else:
-        raise ConfigError(f"unknown CC impl {impl!r}; expected one of {CC_IMPLS}")
+    result = _dispatch(
+        "cc", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity
+    )
     if validate:
         check_connected_counts(result.labels, graph)
     return result
@@ -210,28 +207,9 @@ def minimum_spanning_forest(
     impl, opts, tprime, adapter = _resolve_auto(
         "mst", graph, machine, impl, opts, tprime, graph_kind, adapt
     )
-    if faults is not None and impl not in ("collective", "naive", "smp"):
-        raise ConfigError(
-            f"fault injection is not supported for MST impl {impl!r};"
-            " use 'collective', 'naive', or 'smp'"
-        )
-    if integrity is not None and impl != "collective":
-        raise ConfigError(
-            f"integrity protection is not supported for MST impl {impl!r}; use 'collective'"
-        )
-    if impl == "collective":
-        result = solve_mst_collective(
-            graph, machine, opts, tprime, sort_method, faults=faults, adapter=adapter,
-            integrity=integrity,
-        )
-    elif impl == "naive":
-        result = solve_mst_naive_upc(graph, machine, faults=faults)
-    elif impl == "smp":
-        result = solve_mst_smp(graph, machine, faults=faults)
-    elif impl in ("kruskal", "prim", "boruvka"):
-        result = solve_mst_sequential(graph, machine, algorithm=impl)
-    else:
-        raise ConfigError(f"unknown MST impl {impl!r}; expected one of {MST_IMPLS}")
+    result = _dispatch(
+        "mst", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity
+    )
     if validate:
         check_spanning_forest(graph, result.edge_ids)
     return result
@@ -257,7 +235,9 @@ def spanning_forest(
 
     tprime = resolve_tprime(tprime, machine, graph.n)
     unit = graph.with_weights(np.ones(graph.m, dtype=np.int64))
-    result = solve_mst_collective(unit, machine, opts, tprime, sort_method)
+    result = _dispatch(
+        "mst", "collective", unit, machine, opts, tprime, sort_method, None, None, None
+    )
     if validate:
         check_spanning_forest(unit, result.edge_ids)
     return result

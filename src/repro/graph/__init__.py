@@ -18,6 +18,7 @@ from .generators import (
     grid_graph,
     hybrid_graph,
     path_graph,
+    powerlaw_graph,
     random_graph,
     star_graph,
     with_random_weights,
@@ -64,6 +65,7 @@ __all__ = [
     "is_simple",
     "load_edgelist",
     "path_graph",
+    "powerlaw_graph",
     "random_graph",
     "random_permutation",
     "reversal_permutation",

@@ -34,6 +34,7 @@ from .rmat import DEFAULT_RMAT_PROBS, rmat_edges
 __all__ = [
     "random_graph",
     "hybrid_graph",
+    "powerlaw_graph",
     "with_random_weights",
     "path_graph",
     "cycle_graph",
@@ -179,6 +180,77 @@ def hybrid_graph(
     v = np.concatenate([cv, fv])
     # Shuffle edge order so the core is not clustered at the front of the
     # list (the distributed edge partition must not see artificial skew).
+    order = rng.permutation(u.size)
+    return EdgeList(n, u[order], v[order])
+
+
+def powerlaw_graph(n: int, m: int, seed: int = 0, exponent: float = 2.5) -> EdgeList:
+    """Configuration-model power-law input: ``m`` unique undirected edges
+    whose endpoints are drawn from a seeded heavy-tailed stub
+    distribution.
+
+    Chung–Lu stub weights ``w_i ∝ rank^(-1/(exponent-1))`` give a degree
+    tail ``P(deg >= k) ~ k^(1-exponent)`` — hubs far heavier than the
+    hybrid input's R-MAT core, which is what makes this family the
+    stress case for the ``offload`` hot-vertex optimization and for the
+    Liu–Tarjan alter variants (label concentration happens in round
+    one).  Vertex ranks are randomly relabeled so the hubs scatter
+    across the blocked id space, and edge order is shuffled like the
+    other families.  Deterministic function of ``(n, m, seed,
+    exponent)``, independent of any thread count.
+
+    Stub sampling saturates once the hub-pair combinations are used up;
+    the remainder is filled with uniform unique edges (the same filler
+    the hybrid family uses), so exactly ``m`` edges always come back.
+    """
+    if n < 0 or m < 0:
+        raise GraphError(f"invalid sizes n={n}, m={m}")
+    if exponent <= 1.0:
+        raise GraphError(f"powerlaw exponent must exceed 1, got {exponent}")
+    if m > _max_simple_edges(n):
+        raise GraphError(f"requested {m} unique edges but only {_max_simple_edges(n)} fit (n={n})")
+    if m == 0:
+        return empty_graph(n)
+    rng = _rng("powerlaw", n, m, seed, int(round(exponent * 1000)))
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    p = weights / weights.sum()
+    perm = rng.permutation(n)
+
+    keys_seen = np.empty(0, dtype=np.int64)
+    out_u: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    remaining = m
+    stalls = 0
+    while remaining > 0 and stalls < 4:
+        batch = max(1024, int(remaining * 1.5))
+        uu = perm[rng.choice(n, size=batch, p=p)]
+        vv = perm[rng.choice(n, size=batch, p=p)]
+        ok = uu != vv
+        uu, vv = uu[ok], vv[ok]
+        lo, hi = np.minimum(uu, vv), np.maximum(uu, vv)
+        keys = lo * np.int64(n) + hi
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        uu, vv, keys = uu[first], vv[first], keys[first]
+        fresh = ~np.isin(keys, keys_seen, assume_unique=False)
+        uu, vv, keys = uu[fresh], vv[fresh], keys[fresh]
+        if uu.size == 0:
+            stalls += 1
+            continue
+        stalls = 0
+        if uu.size > remaining:
+            uu, vv, keys = uu[:remaining], vv[:remaining], keys[:remaining]
+        out_u.append(uu)
+        out_v.append(vv)
+        keys_seen = np.concatenate([keys_seen, keys])
+        remaining -= uu.size
+    if remaining > 0:
+        fu, fv = _sample_unique_edges(n, remaining, rng, existing_keys=np.sort(keys_seen))
+        out_u.append(fu)
+        out_v.append(fv)
+    u = np.concatenate(out_u)
+    v = np.concatenate(out_v)
     order = rng.permutation(u.size)
     return EdgeList(n, u[order], v[order])
 

@@ -26,6 +26,7 @@ import numpy as np
 
 __all__ = [
     "cc_invariant_violation",
+    "lt_invariant_violation",
     "star_invariant_violation",
     "mst_selection_violation",
 ]
@@ -44,6 +45,41 @@ def cc_invariant_violation(labels: np.ndarray) -> "str | None":
         return "label exceeds vertex id (min-combine monotonicity)"
     if np.any(labels[labels] != labels):
         return "forest is not all stars (root not a fixed point)"
+    return None
+
+
+def lt_invariant_violation(
+    labels: np.ndarray,
+    prev: "np.ndarray | None" = None,
+    final: bool = False,
+) -> "str | None":
+    """First violated Liu–Tarjan round-top invariant, or ``None``.
+
+    Unlike the grafting solver's :func:`cc_invariant_violation`, the LT
+    round tops do *not* guarantee all-stars — the partial-shortcut
+    variants leave deep trees mid-run.  What every variant maintains:
+
+    * valid labels;
+    * ``D[v] <= v`` — every connect rule proposes values strictly below
+      the target's id and writes are min-adjudicated, so parent pointers
+      only ever point downward.  This doubles as the rooted-forest-shape
+      check: strictly decreasing pointers cannot form a cycle, and
+      chains terminate at fixed points (roots);
+    * elementwise non-increase against the previous round top (``prev``)
+      — labels are monotone under min-combining.
+
+    ``final=True`` adds the all-stars termination condition: a variant
+    only stops once a whole round moves nothing, which implies the
+    forest has collapsed to rooted stars.
+    """
+    if not _labels_in_range(labels):
+        return "label out of range [0, n)"
+    if np.any(labels > np.arange(labels.size)):
+        return "label exceeds vertex id (rooted-forest monotonicity)"
+    if prev is not None and np.any(labels > prev):
+        return "label increased between rounds (min-combine monotonicity)"
+    if final and np.any(labels[labels] != labels):
+        return "terminated without all-stars (root not a fixed point)"
     return None
 
 

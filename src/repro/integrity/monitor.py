@@ -42,6 +42,7 @@ from ..runtime.trace import Category
 from .config import IntegrityConfig
 from .invariants import (
     cc_invariant_violation,
+    lt_invariant_violation,
     mst_selection_violation,
     star_invariant_violation,
 )
@@ -167,6 +168,20 @@ class IntegrityMonitor:
         msg = cc_invariant_violation(d.data)
         if msg is not None:
             self._invariant_failure("cc round invariant", msg)
+
+    def verify_lt_round(self, d, prev=None, final: bool = False) -> None:
+        """Liu–Tarjan round-top invariants: valid monotone labels forming
+        a downward-pointing rooted forest, non-increasing against the
+        previous round top, and — with ``final=True`` — all-stars at
+        termination.  Two charged passes (stream the labels, compare to
+        the id ramp), plus one per optional check."""
+        if not self.config.invariants:
+            return
+        passes = 2.0 + (prev is not None) + final
+        self._charge_digest(passes * d.local_sizes(), d.nbytes_per_elem)
+        msg = lt_invariant_violation(d.data, prev=prev, final=final)
+        if msg is not None:
+            self._invariant_failure("lt round invariant", msg)
 
     def verify_star_round(self, d) -> None:
         """MST round-top invariant: valid labels forming all stars."""

@@ -1,0 +1,32 @@
+"""Liu–Tarjan concurrent-labeling connected components (``repro.lt``).
+
+Liu & Tarjan ("Simple Concurrent Labeling Algorithms for Connected
+Components", see PAPERS.md) organize a family of CRCW label-propagation
+algorithms as a small lattice: each round composes a *connect* phase
+(propose parent updates along edges), a *shortcut* phase (pointer
+jumping), and optionally an *alter* phase (replace edge endpoints with
+their current labels).  Picking one option per axis yields an algorithm;
+this package implements the whole lattice on the repository's GetD/SetD
+collectives, so every variant inherits the cost model, the race
+detector, fault injection, and the integrity machinery for free.
+
+* :mod:`repro.lt.variants` — the variant lattice (names, parsing).
+* :mod:`repro.lt.solver` — the phase-composed collective solver.
+"""
+
+from .solver import lt_iteration_bound, solve_cc_lt
+from .variants import (
+    ALL_VARIANTS,
+    LT_VARIANT_NAMES,
+    LTVariant,
+    parse_variant,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "LTVariant",
+    "LT_VARIANT_NAMES",
+    "lt_iteration_bound",
+    "parse_variant",
+    "solve_cc_lt",
+]

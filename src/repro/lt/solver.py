@@ -1,0 +1,307 @@
+"""Phase-composed collective solver for the Liu–Tarjan lattice.
+
+Every variant is the same round skeleton with the three phases swapped
+in — connect, shortcut, optional alter — all built from the GetD/SetD
+collectives, so each point of the lattice inherits communication
+coalescing, the cost model, the race detector, fault injection, and the
+integrity machinery without variant-specific code:
+
+1. **Connect** — fetch the round-top labels of both endpoints, compute
+   the variant's proposal set from that snapshot, and apply it with one
+   min-adjudicated SetD.  All three connect rules only ever propose
+   values strictly below the target's vertex id, so ``D`` stays a
+   monotone (``D[v] <= v``) rooted forest and ``D[0] == 0`` holds
+   throughout — which is exactly what makes the ``offload`` hot-value
+   short-circuit and ``drop_hot`` sound for every variant.
+2. **Shortcut** — synchronous pointer jumping: one round (``partial``)
+   or iterated to all-stars (``full``), with the loop exit decided by a
+   uniform flag allreduce.
+3. **Alter** — optionally replace the edge endpoints with their current
+   labels (two more GetD rounds); later rounds then walk labels of
+   labels.
+
+A round with no label movement anywhere implies all-stars *and* no live
+proposals, which for all three connect rules implies every edge has
+settled (endpoint labels equal) — the termination test is simply "did
+anything change", reduced over threads.
+
+Fault tolerance mirrors :func:`repro.cc.collective.solve_cc_collective`:
+each round checkpoints the label array and the live edge partitions;
+injected crashes and detected corruption restore the checkpoint, resync
+the integrity shadows, and replay the lost round.  Round-top invariants
+(:meth:`~repro.integrity.monitor.IntegrityMonitor.verify_lt_round`) run
+before the save so checkpoints only ever hold invariant-clean state.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..collectives.base import CollectiveContext
+from ..collectives.getd import getd
+from ..collectives.setd import setd
+from ..core.optimizations import OptimizationFlags
+from ..core.results import CCResult, SolveInfo
+from ..errors import ConvergenceError, FaultError, IntegrityError, ThreadCrash
+from ..faults.checkpoint import RoundCheckpointer
+from ..graph.distribute import distribute_edges
+from ..graph.edgelist import EdgeList
+from ..runtime.machine import MachineConfig, hps_cluster
+from ..runtime.partitioned import PartitionedArray
+from ..runtime.runtime import PGASRuntime
+from ..cc.common import check_converged, graft_proposals
+from .variants import LTVariant, parse_variant
+
+__all__ = ["solve_cc_lt", "lt_iteration_bound"]
+
+
+def lt_iteration_bound(n: int) -> int:
+    """Safety bound on Liu–Tarjan rounds.
+
+    The lattice's worst members converge in ``O(log^2 n)`` rounds (the
+    partial-shortcut variants halve tree depth only once per round), so
+    the shared ``O(log n)`` bound of :func:`repro.cc.common.
+    iteration_bound` would misfire on deep inputs like paths; we allow a
+    generous quadratic multiple before declaring a semantic bug.
+    """
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+    return 2 * (log_n + 2) ** 2 + 8
+
+
+def _check_lt_converged(iteration: int, n: int, what: str) -> None:
+    if iteration > lt_iteration_bound(n):
+        raise ConvergenceError(
+            f"{what} exceeded the {lt_iteration_bound(n)}-iteration safety bound"
+            f" for n={n}; this indicates a semantic bug, not a slow input"
+        )
+
+
+def _connect_proposals(
+    variant: LTVariant,
+    rt: PGASRuntime,
+    u_part: PartitionedArray,
+    v_part: PartitionedArray,
+    du: np.ndarray,
+    dv: np.ndarray,
+    ddu: "np.ndarray | None",
+    ddv: "np.ndarray | None",
+) -> tuple:
+    """(targets PartitionedArray, values ndarray) for one connect step.
+
+    All rules are snapshot-based and symmetric in the two directions; a
+    proposal always carries the *smaller* side's label, so values are
+    strictly below their targets and min-adjudication keeps ``D``
+    monotone.
+    """
+    sizes = u_part.sizes().astype(np.float64)
+    if variant.connect == "root":
+        # Bader–Cong condition: the larger side's label must be a root.
+        step = graft_proposals(du, dv, ddu, ddv)
+        rt.local_ops(6.0 * sizes)
+        return u_part.filter(step.mask).with_data(step.targets), step.values
+    cond_uv = du < dv  # lower v's parent (and, extended, v itself)
+    cond_vu = dv < du
+    mask = cond_uv | cond_vu
+    parent_targets = u_part.filter(mask).with_data(np.where(cond_uv, dv, du)[mask])
+    parent_values = np.where(cond_uv, du, dv)[mask]
+    if variant.connect == "parent":
+        rt.local_ops(4.0 * sizes)
+        return parent_targets, parent_values
+    # Extended-connect: additionally write the smaller label straight to
+    # the larger side's endpoint.  One combined SetD keeps the write a
+    # single coalesced collective (the extra volume is still charged).
+    child_targets = PartitionedArray.concat_pairwise(
+        v_part.filter(cond_uv), u_part.filter(cond_vu)
+    )
+    child_values = PartitionedArray.concat_pairwise(
+        u_part.filter(cond_uv).with_data(du[cond_uv]),
+        v_part.filter(cond_vu).with_data(dv[cond_vu]),
+    )
+    targets = PartitionedArray.concat_pairwise(parent_targets, child_targets)
+    values = PartitionedArray.concat_pairwise(
+        u_part.filter(mask).with_data(parent_values), child_values
+    )
+    rt.local_ops(6.0 * sizes)
+    return targets, values.data
+
+
+def _shortcut_phase(
+    rt: PGASRuntime,
+    d,
+    opts: OptimizationFlags,
+    tprime: int,
+    sort_method: str,
+    vert_offsets: np.ndarray,
+    hot,
+    full: bool,
+) -> int:
+    """Synchronous pointer jumping; returns the number of moved labels.
+
+    ``full`` iterates to all-stars with a uniform allreduce deciding the
+    loop exit (the same shape as :func:`repro.cc.collective.
+    pointer_jump_to_stars`); ``partial`` applies exactly one round.
+    """
+    n = d.size
+    moved_total = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        check_converged(rounds, n, "lt shortcut pointer jumping")
+        idxp = PartitionedArray(rt.owner_block_read(d), vert_offsets)
+        grand = getd(
+            rt, d, idxp, opts, ctx=None, cache_key=None,
+            tprime=tprime, sort_method=sort_method, hot_value=hot,
+        )
+        moved = grand != d.data
+        moved_per_thread = PartitionedArray(
+            moved.astype(np.int64), vert_offsets
+        ).segment_sums()
+        rt.owner_block_write(d, grand)
+        moved_total += int(moved_per_thread.sum())
+        if not full:
+            return moved_total
+        if not rt.allreduce_flag(moved_per_thread > 0):
+            return moved_total
+
+
+def solve_cc_lt(
+    graph: EdgeList,
+    machine: MachineConfig | None = None,
+    opts: OptimizationFlags = OptimizationFlags.all(),
+    tprime: int = 1,
+    sort_method: str = "count",
+    variant: "LTVariant | str" = "lt-rf",
+    faults=None,
+    integrity=None,
+) -> CCResult:
+    """Connected components via one Liu–Tarjan lattice variant.
+
+    Produces labels identical to every other CC implementation in this
+    package at convergence (each component labeled by its minimum vertex
+    id).  ``faults`` and ``integrity`` behave exactly as in
+    :func:`~repro.cc.collective.solve_cc_collective` — the checkpoint/
+    replay and verify-and-repair loops are shared skeleton, not
+    per-variant code.
+    """
+    variant = parse_variant(variant)
+    machine = machine if machine is not None else hps_cluster()
+    wall_start = time.perf_counter()
+    rt = PGASRuntime(machine, faults=faults, integrity=integrity)
+    n = graph.n
+    impl_name = f"cc-{variant.name}"
+    if n == 0:
+        info = SolveInfo(machine, impl_name, 0.0, time.perf_counter() - wall_start, 0, rt.trace)
+        return CCResult(np.empty(0, dtype=np.int64), info)
+
+    ep = distribute_edges(graph, rt.s)
+    u_part, v_part = ep.u, ep.v
+    d = rt.shared_array(np.arange(n, dtype=np.int64), name=f"lt.{variant.name}.d")
+    rt.protect_array(d)
+    sizes = d.local_sizes()
+    vert_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=vert_offsets[1:])
+    ctx = CollectiveContext()
+    needs_roots = variant.connect == "root"
+
+    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    prev_labels = None
+    repairs = 0
+    repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
+    iteration = 0
+    while True:
+        iteration += 1
+        hot = 0 if opts.offload else None
+        _check_lt_converged(iteration, n, f"{impl_name} rounds")
+        try:
+            # Round-top invariants run BEFORE the save so the checkpoint
+            # only ever holds invariant-clean state to restore into.
+            if rt.integrity is not None:
+                rt.integrity.verify_lt_round(d, prev=prev_labels)
+                prev_labels = rt.owner_block_read(d)
+            ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
+            rt.counters.add(iterations=1)
+
+            # -- connect phase --------------------------------------------
+            du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
+            dv = getd(rt, d, v_part, opts, ctx, "edges.v", tprime, sort_method, hot_value=hot)
+            if opts.compact:
+                keep = du != dv
+                rt.local_ops(u_part.sizes().astype(np.float64))
+                if not keep.all():
+                    u_part = u_part.filter(keep)
+                    v_part = v_part.filter(keep)
+                    du, dv = du[keep], dv[keep]
+                    ctx.invalidate()
+            ddu = ddv = None
+            # The connect rule is fixed per run, so every simulated
+            # thread takes the same branch and sync counts stay aligned.
+            # repro: waive[CM03] variant config uniform across threads
+            if needs_roots:
+                ddu = getd(
+                    rt, d, u_part.with_data(du), opts, None, None, tprime, sort_method,
+                    hot_value=hot,
+                )
+                ddv = getd(
+                    rt, d, v_part.with_data(dv), opts, None, None, tprime, sort_method,
+                    hot_value=hot,
+                )
+            targets, values = _connect_proposals(variant, rt, u_part, v_part, du, dv, ddu, ddv)
+            changed = setd(
+                rt, d, targets, values, opts, ctx=None, cache_key=None,
+                tprime=tprime, sort_method=sort_method,
+                drop_hot=True, hot_index=0,
+            )
+
+            # -- shortcut phase -------------------------------------------
+            moved = _shortcut_phase(
+                rt, d, opts, tprime, sort_method, vert_offsets, hot,
+                full=variant.shortcut == "full",
+            )
+
+            # -- alter phase ----------------------------------------------
+            # repro: waive[CM03] variant config uniform across threads
+            if variant.alter:
+                fu = getd(rt, d, u_part, opts, None, None, tprime, sort_method, hot_value=hot)
+                fv = getd(rt, d, v_part, opts, None, None, tprime, sort_method, hot_value=hot)
+                u_part = u_part.with_data(fu)
+                v_part = v_part.with_data(fv)
+                # The cached id buffers describe the old request lists.
+                ctx.invalidate()
+
+            done = not rt.allreduce_flag(np.full(rt.s, changed + moved > 0))
+            if done and rt.integrity is not None:
+                # Termination contract: the forest must have collapsed to
+                # stars.  Checked inside the recovery scope so a failure
+                # restores and replays like any other detected corruption.
+                rt.integrity.verify_lt_round(d, prev=prev_labels, final=True)
+        except (ThreadCrash, IntegrityError) as fault:
+            state = ck.restore()
+            # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
+            d.data[:] = state["d"]
+            u_part, v_part = state["u_part"], state["v_part"]
+            # The restored round-top state is the new monotonicity baseline.
+            prev_labels = state["d"].copy()
+            if rt.integrity is not None:
+                rt.integrity.resync(d)
+            if isinstance(fault, IntegrityError):
+                rt.counters.add(repairs=1)
+                repairs += 1
+                if repairs > repair_bound:
+                    raise FaultError(
+                        f"{impl_name} gave up after {repairs} integrity repairs"
+                        " (corruption rate exceeds what replay can absorb)"
+                    ) from fault
+            ctx.invalidate()
+            iteration -= 1
+            continue
+        if done:
+            break
+
+    labels = d.data.copy()
+    info = SolveInfo(
+        machine, impl_name, rt.elapsed, time.perf_counter() - wall_start, iteration, rt.trace
+    )
+    return CCResult(labels, info)

@@ -63,24 +63,47 @@ def parse_service_machine(spec_text: str, n: int):
 
 
 def validate_spec_impl(spec: JobSpec) -> None:
-    """Submit-time impl validation so bad requests 400 instead of
-    failing asynchronously after sitting in the queue."""
+    """Submit-time impl/variant validation so bad requests 400 instead
+    of failing asynchronously after sitting in the queue.  Impl names
+    and their fault/integrity capabilities come straight from the
+    :mod:`repro.algorithms` registry — a newly registered variant is
+    accepted here with zero service changes."""
+    from ..algorithms import get_algorithm, lt_variant_names
     from ..core import CC_IMPLS, MST_IMPLS
 
+    if spec.variant is not None and spec.variant not in lt_variant_names():
+        raise UsageError(
+            f"field 'variant' must be one of {lt_variant_names()}: got {spec.variant!r}"
+        )
+    impl = spec.effective_impl
     table = {"cc": CC_IMPLS, "mst": MST_IMPLS, "bfs": ("collective", "naive", "sequential")}
     allowed = table[spec.algo]
-    if spec.impl not in allowed:
+    if impl not in allowed:
         raise UsageError(
-            f"field 'impl' must be one of {allowed} for algo {spec.algo!r}: got {spec.impl!r}"
+            f"field 'impl' must be one of {allowed} for algo {spec.algo!r}: got {impl!r}"
         )
-    if spec.algo == "bfs" and ("auto" in (spec.impl, spec.opts) or spec.tprime == "auto"):
+    if spec.algo == "bfs" and ("auto" in (impl, spec.opts) or spec.tprime == "auto"):
         raise UsageError("auto tuning is only supported for cc/mst jobs")
-    if spec.has_faults and spec.impl not in ("collective", "naive", "smp", "auto"):
-        raise UsageError(
-            f"fault injection requires impl 'collective', 'naive' or 'smp': got {spec.impl!r}"
-        )
-    if spec.integrity and spec.impl not in ("collective", "auto"):
-        raise UsageError(f"integrity protection requires impl 'collective': got {spec.impl!r}")
+    if spec.algo in ("cc", "mst") and impl != "auto":
+        algorithm = get_algorithm(spec.algo, impl)
+        if spec.has_faults and not algorithm.supports_faults:
+            supported = tuple(
+                name for name in allowed
+                if name == "auto" or get_algorithm(spec.algo, name).supports_faults
+            )
+            raise UsageError(
+                f"fault injection is not supported for impl {impl!r};"
+                f" use one of {supported}"
+            )
+        if spec.integrity and not algorithm.supports_integrity:
+            supported = tuple(
+                name for name in allowed
+                if name == "auto" or get_algorithm(spec.algo, name).supports_integrity
+            )
+            raise UsageError(
+                f"integrity protection is not supported for impl {impl!r};"
+                f" use one of {supported}"
+            )
     # Parse-check opts eagerly too (same 400-at-the-door rationale).
     _parse_opts(spec.opts)
 
@@ -148,7 +171,7 @@ class _GraphCache:
 
     def get(self, spec: JobSpec):
         """(graph, weighted_graph_or_None) for the spec's fingerprint."""
-        from ..graph import hybrid_graph, random_graph, with_random_weights
+        from ..graph import hybrid_graph, powerlaw_graph, random_graph, with_random_weights
 
         key = spec.graph_fingerprint()
         weighted = spec.algo == "mst"
@@ -159,8 +182,8 @@ class _GraphCache:
                 g, gw = entry
                 if not weighted or gw is not None:
                     return g, gw
-        builder = random_graph if spec.kind == "random" else hybrid_graph
-        g = builder(spec.n, spec.m, seed=spec.seed)
+        builders = {"random": random_graph, "hybrid": hybrid_graph, "powerlaw": powerlaw_graph}
+        g = builders[spec.kind](spec.n, spec.m, seed=spec.seed)
         gw = with_random_weights(g, seed=spec.seed + 1) if weighted else None
         with self._lock:
             self._entries[key] = (g, gw)
@@ -269,10 +292,11 @@ class JobExecutor:
     def _resolve_plan(self, spec: JobSpec, machine, mode: str) -> tuple:
         """(impl, opts, tprime, provenance-dict) for this job."""
         explicit_opts = _parse_opts(spec.opts)
-        wants_auto = spec.impl == "auto" or spec.opts == "auto" or spec.tprime == "auto"
+        impl_req = spec.effective_impl
+        wants_auto = impl_req == "auto" or spec.opts == "auto" or spec.tprime == "auto"
         if not wants_auto:
-            return spec.impl, explicit_opts, spec.tprime, {
-                "source": "explicit", "impl": spec.impl, "opts": spec.opts,
+            return impl_req, explicit_opts, spec.tprime, {
+                "source": "explicit", "impl": impl_req, "opts": spec.opts,
                 "tprime": spec.tprime,
             }
         from ..tuning import PlanCache, Workload, autotune
@@ -297,15 +321,18 @@ class JobExecutor:
                     plan = build_plan(workload, machine, probe=False)
                     source = "analytic"
         selected = plan.selected
-        impl = selected.impl if spec.impl == "auto" else spec.impl
+        impl = selected.impl if impl_req == "auto" else impl_req
         opts = parse_opts_key(selected.opts_key) if spec.opts == "auto" else explicit_opts
         tprime = selected.tprime if spec.tprime == "auto" else spec.tprime
-        # Faults/integrity constrain the impl family; if the plan picked
-        # an unsupported one, fall back to the collective solver rather
-        # than failing the job on a ConfigError.
-        if spec.integrity and impl != "collective":
+        # Faults/integrity constrain the impl family (per the registry's
+        # capability flags); if the plan picked an unsupported one, fall
+        # back to the collective solver rather than failing the job on a
+        # ConfigError.
+        from ..algorithms import get_algorithm
+
+        if spec.integrity and not get_algorithm(spec.algo, impl).supports_integrity:
             impl = "collective"
-        elif spec.has_faults and impl not in ("collective", "naive", "smp"):
+        elif spec.has_faults and not get_algorithm(spec.algo, impl).supports_faults:
             impl = "collective"
         return impl, opts, tprime, {
             "source": source, "impl": impl, "opts": selected.opts_key

@@ -32,7 +32,7 @@ __all__ = ["JobSpec", "Job", "JobState", "PRIORITIES", "TERMINAL_STATES"]
 PRIORITIES = ("low", "normal", "high")
 
 _ALGOS = ("cc", "mst", "bfs")
-_KINDS = ("random", "hybrid")
+_KINDS = ("random", "hybrid", "powerlaw")
 
 #: Hard input ceiling: admission control starts at the parser — one
 #: tenant must not be able to wedge a worker with an hour-long solve.
@@ -82,6 +82,11 @@ class JobSpec:
     seed: int = 0
     machine: str = "4x2"
     impl: str = "collective"
+    #: CC algorithm variant (a registered Liu–Tarjan name, e.g.
+    #: ``lt-rfa``); sugar for ``impl`` — the two are mutually exclusive
+    #: in a request body, and ``variant`` wins when both survive a
+    #: journal round-trip.
+    variant: Optional[str] = None
     opts: str = "all"
     tprime: "int | str" = 2
     priority: str = "normal"
@@ -122,6 +127,13 @@ class JobSpec:
             or self.payload_corruption or self.integrity
         ):
             raise UsageError("fault injection and integrity are only supported for cc/mst jobs")
+        if self.variant is not None:
+            if not isinstance(self.variant, str) or not self.variant:
+                raise UsageError(f"field 'variant' must be a non-empty string: got {self.variant!r}")
+            if self.algo != "cc":
+                raise UsageError(
+                    f"field 'variant' is only supported for cc jobs: got algo {self.algo!r}"
+                )
 
     @property
     def m(self) -> int:
@@ -130,6 +142,11 @@ class JobSpec:
     @property
     def priority_rank(self) -> int:
         return PRIORITIES.index(self.priority)
+
+    @property
+    def effective_impl(self) -> str:
+        """The implementation that actually runs (``variant`` wins)."""
+        return self.variant if self.variant is not None else self.impl
 
     @property
     def has_faults(self) -> bool:
@@ -145,12 +162,14 @@ class JobSpec:
             raise UsageError("request body must be a JSON object")
         known = {
             "tenant", "algo", "n", "density", "kind", "seed", "machine", "impl",
-            "opts", "tprime", "priority", "deadline_s", "integrity", "loss",
+            "variant", "opts", "tprime", "priority", "deadline_s", "integrity", "loss",
             "stragglers", "corruption", "payload_corruption", "fault_seed", "source",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise UsageError(f"unknown field(s) {unknown}; accepted: {sorted(known)}")
+        if "variant" in payload and "impl" in payload:
+            raise UsageError("fields 'variant' and 'impl' are mutually exclusive; send one")
         tprime = payload.get("tprime", 2)
         if tprime != "auto":
             tprime = _field(payload, "tprime", int, 2)
@@ -164,6 +183,7 @@ class JobSpec:
             seed=_field(payload, "seed", int, 0),
             machine=str(payload.get("machine", "4x2")),
             impl=str(payload.get("impl", "collective")),
+            variant=None if payload.get("variant") is None else str(payload["variant"]),
             opts=str(payload.get("opts", "all")),
             tprime=tprime,
             priority=str(payload.get("priority", "normal")),

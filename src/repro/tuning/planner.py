@@ -31,10 +31,11 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
+from ..algorithms import REGISTRY, TuningEntry, get_algorithm
 from ..core.optimizations import OptimizationFlags
 from ..errors import ConfigError
 from ..graph.edgelist import EdgeList
-from ..graph.generators import hybrid_graph, random_graph, with_random_weights
+from ..graph.generators import hybrid_graph, powerlaw_graph, random_graph, with_random_weights
 from ..runtime.cost import ELEM_BYTES, CostModel
 from ..runtime.machine import MachineConfig, scaled_cache
 from ..scheduling.cache_model import best_tprime, tprime_candidates
@@ -330,27 +331,40 @@ def predict_config_ms(
     hot = _HOT_FRACTION if workload.kind == "cc" else 0.0
     # MST hard-disables offload (the D[0] invariant fails for Boruvka).
     eff = opts.with_(offload=False) if workload.kind == "mst" else opts
+    # The Liu–Tarjan variants are priced with their registry cost hints
+    # (per-round collective counts differ by connect/shortcut/alter
+    # axis); the legacy impls keep their original constants bit-for-bit.
+    lt_entry = _lt_tuning_entry(impl)
+    if lt_entry is not None:
+        edge_collectives = lt_entry.edge_collectives
+        jump_rounds = lt_entry.jump_rounds
+    else:
+        # Label fetches on the live edge lists (du/dv + root checks for
+        # CC; du/dv + the SetDMin bids for MST).
+        edge_collectives = 4 if workload.kind == "cc" else 3
+        jump_rounds = 2.0
     for r in range(rounds):
         # With `ids` the owner buffers are cached across rounds unless
         # compact rebuilt the request lists.
         pay_ids = r == 0 or eff.compact
-        # Label fetches on the live edge lists (du/dv + root checks for
-        # CC; du/dv + the SetDMin bids for MST).
-        edge_collectives = 4 if workload.kind == "cc" else 3
         total += edge_collectives * _getd_round_s(
             cost, machine, live, n, eff, tprime, hot, pay_ids
         )
         if eff.compact:
             total += float(cost.op_time(live / s))  # the keep-mask pass
             live *= _COMPACT_DECAY
-        # Pointer jumping: two collective rounds over the n labels (jump
+        # Pointer jumping: collective rounds over the n labels (jump
         # requests never benefit from offload's hot-drop in MST either).
         jump_opts = eff.with_(offload=False) if workload.kind == "mst" else eff
-        total += 2.0 * _getd_round_s(cost, machine, float(n), n, jump_opts, tprime, hot, False)
+        total += jump_rounds * _getd_round_s(
+            cost, machine, float(n), n, jump_opts, tprime, hot, False
+        )
         total += cost.allreduce_time()
 
     if impl == "sv":
         total *= _SV_ROUND_FACTOR
+    elif lt_entry is not None:
+        total *= lt_entry.round_factor
     return total * 1e3
 
 
@@ -359,6 +373,7 @@ def predict_config_ms(
 _GENERATORS: Dict[str, Callable[[int, int, int], EdgeList]] = {
     "random": random_graph,
     "hybrid": hybrid_graph,
+    "powerlaw": powerlaw_graph,
 }
 
 
@@ -412,11 +427,37 @@ def _probe_task(task: tuple) -> float:
     return _probe_solve_ms(workload, graph, machine, impl, parse_opts_key(opts_key), tprime)
 
 
+def _lt_tuning_entry(impl: str) -> "TuningEntry | None":
+    """The registry cost hints for a Liu–Tarjan impl, else ``None``."""
+    if not impl.startswith("lt-"):
+        return None
+    return get_algorithm("cc", impl).tuning
+
+
 def _impl_candidates(kind: str) -> tuple:
-    # `sv` stays a candidate for CC (the predictor prices its extra
-    # rounds); `naive` is priced for the tune report but never probed —
-    # the measured coalescing gain already rules it out analytically.
-    return ("collective", "sv") if kind == "cc" else ("collective",)
+    # The registry is the source of truth: every registered algorithm
+    # with a tuning entry joins the search lattice (registering a new
+    # variant automatically makes the planner consider it).  `naive` has
+    # no entry — it is priced for the tune report but never probed, the
+    # measured coalescing gain already rules it out analytically.
+    return tuple(
+        name for (k, name), spec in REGISTRY.items() if k == kind and spec.tuning is not None
+    )
+
+
+def _impl_lattice(kind: str, impl: str) -> tuple:
+    """Flag combinations the planner searches for one impl.
+
+    ``"full"`` lattice entries search every Section V combination (the
+    paper's own configurations); ``"all-flags"`` entries — the LT
+    variants — search only the all-optimizations column, whose flags are
+    strictly beneficial inside the shared collectives, keeping the
+    lattice bounded while still ranking every variant across t'.
+    """
+    entry = get_algorithm(kind, impl).tuning
+    if entry is not None and entry.lattice == "all-flags":
+        return (OptimizationFlags.all(),)
+    return tuple(OptimizationFlags.lattice())
 
 
 def build_plan(
@@ -443,7 +484,7 @@ def build_plan(
 
     entries: List[PlanEntry] = []
     for impl in _impl_candidates(workload.kind):
-        for opts in OptimizationFlags.lattice():
+        for opts in _impl_lattice(workload.kind, impl):
             if workload.kind == "mst" and opts.offload:
                 # The MST solver refuses offload (the D[0] invariant it
                 # relies on fails for Boruvka), so offload-on lattice

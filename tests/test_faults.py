@@ -341,6 +341,22 @@ class TestExactCounters:
         assert c.corruptions_detected == 31
         assert c.checkpoint_restores == c.crashes + c.repairs
 
+    def test_cc_lt_counters(self, g):
+        """The same composed plan against one Liu–Tarjan variant: the LT
+        round skeleton shares the checkpoint/replay machinery, so its
+        counter identities — and their exact values — pin the same way."""
+        res = connected_components(
+            g, MACHINE, impl="lt-rf", faults=self.PLAN, integrity=True, validate=True
+        )
+        c = res.info.trace.counters
+        assert c.retries == 5
+        assert c.crashes == 1
+        assert c.repairs == 8
+        assert c.checkpoint_restores == 9
+        assert c.corruptions_injected == 31
+        assert c.corruptions_detected == 31
+        assert c.checkpoint_restores == c.crashes + c.repairs
+
     def test_mst_collective_counters(self, gw):
         res = minimum_spanning_forest(
             gw, MACHINE, impl="collective", faults=self.PLAN, integrity=True, validate=True

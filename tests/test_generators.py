@@ -17,6 +17,7 @@ from repro.graph import (
     hybrid_graph,
     is_simple,
     path_graph,
+    powerlaw_graph,
     random_graph,
     rmat_edges,
     star_graph,
@@ -96,6 +97,53 @@ class TestHybridGraph:
     def test_rejects_tiny(self):
         with pytest.raises(GraphError):
             hybrid_graph(3, 2)
+
+
+class TestPowerlawGraph:
+    def test_exact_edge_count_and_simple(self):
+        g = powerlaw_graph(400, 1600, seed=1)
+        assert g.n == 400 and g.m == 1600
+        assert is_simple(g)
+
+    def test_deterministic(self):
+        a, b = powerlaw_graph(300, 900, seed=2), powerlaw_graph(300, 900, seed=2)
+        assert np.array_equal(a.u, b.u) and np.array_equal(a.v, b.v)
+
+    def test_seed_changes_graph(self):
+        a, b = powerlaw_graph(300, 900, seed=2), powerlaw_graph(300, 900, seed=3)
+        assert not (np.array_equal(a.u, b.u) and np.array_equal(a.v, b.v))
+
+    def test_heavier_hubs_than_hybrid(self):
+        n, m = 10_000, 40_000
+        pl = powerlaw_graph(n, m, seed=3)
+        mean_degree = 2 * m / n
+        assert pl.max_degree() > 5 * mean_degree
+        assert pl.max_degree() > hybrid_graph(n, m, seed=3).max_degree()
+
+    def test_exponent_shapes_the_tail(self):
+        n, m = 5_000, 20_000
+        heavy = powerlaw_graph(n, m, seed=4, exponent=2.1)
+        light = powerlaw_graph(n, m, seed=4, exponent=3.5)
+        assert heavy.max_degree() > light.max_degree()
+
+    def test_dense_request_still_exact(self):
+        # Hub pairs saturate quickly here; the uniform filler must top
+        # the edge list up to exactly m without duplicates.
+        n = 40
+        m = n * (n - 1) // 2 - 5
+        g = powerlaw_graph(n, m, seed=5)
+        assert g.m == m and is_simple(g)
+
+    def test_zero_edges(self):
+        assert powerlaw_graph(10, 0).m == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(-1, 0)
+        with pytest.raises(GraphError):
+            powerlaw_graph(10, 100)
+        with pytest.raises(GraphError):
+            powerlaw_graph(10, 5, exponent=1.0)
 
 
 class TestWeights:

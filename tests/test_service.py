@@ -35,6 +35,7 @@ from repro.service import (
     TokenBucket,
     cancel_scope,
 )
+from repro.service.executor import validate_spec_impl
 from repro.service.jobs import TERMINAL_STATES
 from repro.service.journal import replay_journal
 
@@ -428,6 +429,69 @@ class TestJobSpec:
     def test_job_ids_are_unique(self):
         ids = {Job(spec=_spec()).job_id for _ in range(64)}
         assert len(ids) == 64
+
+
+class TestVariantField:
+    """The optional ``variant`` submit field: registry-validated sugar
+    for ``impl`` selecting a Liu–Tarjan CC variant."""
+
+    def test_variant_resolves_to_effective_impl(self):
+        spec = JobSpec.from_payload({"algo": "cc", "variant": "lt-rfa", "n": 64})
+        assert spec.variant == "lt-rfa"
+        assert spec.effective_impl == "lt-rfa"
+        validate_spec_impl(spec)
+
+    def test_variant_and_impl_are_mutually_exclusive(self):
+        with pytest.raises(UsageError, match="mutually exclusive"):
+            JobSpec.from_payload({"variant": "lt-rf", "impl": "collective"})
+
+    def test_variant_on_non_cc_algo_rejected(self):
+        with pytest.raises(UsageError, match="only supported for cc"):
+            JobSpec.from_payload({"algo": "mst", "variant": "lt-rf"})
+
+    def test_unknown_variant_rejected_against_registry(self):
+        spec = JobSpec.from_payload({"algo": "cc", "variant": "lt-zz"})
+        with pytest.raises(UsageError, match="'variant' must be one of"):
+            validate_spec_impl(spec)
+
+    def test_variant_survives_journal_round_trip(self):
+        spec = JobSpec.from_payload({"algo": "cc", "variant": "lt-esa"})
+        again = JobSpec(**spec.to_dict())
+        assert again.effective_impl == "lt-esa"
+
+    def test_submit_unknown_variant_is_400(self):
+        svc = _service()
+        status, body, _ = svc.submit({"algo": "cc", "n": 64, "variant": "sv"})
+        assert status == 400
+        assert "variant" in body["error"]
+
+    def test_submit_variant_on_mst_is_400(self):
+        svc = _service()
+        status, body, _ = svc.submit({"algo": "mst", "n": 64, "variant": "lt-rf"})
+        assert status == 400
+        assert "variant" in body["error"]
+
+    def test_variant_job_runs_and_verifies(self):
+        svc = _service()
+        status, body, _ = svc.submit({
+            "algo": "cc", "n": 64, "machine": "2x2", "variant": "lt-pfa",
+            "kind": "powerlaw",
+        })
+        assert status == 202
+        job = svc.jobs[body["job_id"]]
+        svc.executor.execute(svc.queue.take(0))
+        assert job.state == JobState.DONE, job.error
+        assert job.result["verify"]["status"] == "verified"
+        assert job.result["plan"]["impl"] == "lt-pfa"
+
+    def test_faults_with_unsupporting_impl_rejected_via_registry(self):
+        spec = JobSpec.from_payload({"algo": "cc", "impl": "sv", "loss": 0.01})
+        with pytest.raises(UsageError, match="fault injection"):
+            validate_spec_impl(spec)
+
+    def test_integrity_supported_for_lt_variants(self):
+        spec = JobSpec.from_payload({"algo": "cc", "variant": "lt-rf", "integrity": True})
+        validate_spec_impl(spec)  # must not raise: LT owns a repair loop
 
 
 # ---------------------------------------------------------------------------
