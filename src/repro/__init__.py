@@ -33,6 +33,7 @@ Packages
 ``repro.analysis``     sanitizer suite: epoch race detector + static linter
 ``repro.faults``       fault plans/injection: loss, stragglers, crashes, flips
 ``repro.integrity``    silent-fault detection, verify-and-repair, soak harness
+``repro.resilience``   permanent-loss survival: redundancy, epochs, recovery
 ``repro.tuning``       autotuner: probes → plan (impl × flags × t') → adapt
 ``repro.bench``        experiment harness used by ``benchmarks/``
 """
@@ -63,12 +64,22 @@ from .errors import (
     FaultError,
     GraphError,
     IntegrityError,
+    NodeLoss,
     ReproError,
     ThreadCrash,
+    UnrecoverableLossError,
     VerificationError,
 )
-from .faults import CrashEvent, FaultInjector, FaultPlan, NicDegradation, RetryPolicy
+from .faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    NicDegradation,
+    NodeLossEvent,
+    RetryPolicy,
+)
 from .integrity import IntegrityConfig, SoakConfig, run_soak
+from .resilience import RedundancyConfig, ResilientSession
 from .graph import (
     EdgeList,
     hybrid_graph,
@@ -123,18 +134,23 @@ __all__ = [
     "MachineConfig",
     "MachineProfile",
     "NicDegradation",
+    "NodeLoss",
+    "NodeLossEvent",
     "OnlineAdapter",
     "OptimizationFlags",
     "PGASRuntime",
     "PartitionedArray",
     "PlanCache",
+    "RedundancyConfig",
     "ReproError",
+    "ResilientSession",
     "RetryPolicy",
     "SharedArray",
     "SoakConfig",
     "SolveInfo",
     "ThreadCrash",
     "TuningPlan",
+    "UnrecoverableLossError",
     "VerificationError",
     "Workload",
     "__version__",

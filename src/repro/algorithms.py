@@ -90,6 +90,7 @@ class AlgorithmSpec:
     supports_faults: bool = False
     supports_integrity: bool = False
     supports_adapter: bool = False
+    supports_resilience: bool = False
     tuning: Optional[TuningEntry] = None
 
     def __post_init__(self) -> None:
@@ -141,22 +142,25 @@ _COLLECTIVE_EFFECTS = (
     "local_ops", "guard_payload",
 )
 _REPAIR_EFFECTS = ("save", "restore", "resync", "on_barrier")
+_RESILIENCE_EFFECTS = ("enroll", "commit_round", "recover_loss", "on_loss")
 
 register(AlgorithmSpec(
     name="collective",
     kind="cc",
     description="the paper's optimized CC: grafting + full pointer jumping on GetD/SetD",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_collective(
             graph, machine, opts, tprime, sort_method,
-            faults=faults, adapter=adapter, integrity=integrity,
+            faults=faults, adapter=adapter, integrity=integrity, resilience=resilience,
         ),
     invariants=("cc_invariant_violation",),
-    effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS + ("verify_cc_round",),
+    effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS + _RESILIENCE_EFFECTS
+    + ("verify_cc_round",),
     supports_flags=True,
     supports_faults=True,
     supports_integrity=True,
     supports_adapter=True,
+    supports_resilience=True,
     tuning=TuningEntry(lattice="full"),
 ))
 
@@ -164,7 +168,7 @@ register(AlgorithmSpec(
     name="sv",
     kind="cc",
     description="Shiloach-Vishkin with collectives (star detection + stagnant-star hook)",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_sv(graph, machine, opts, tprime, sort_method),
     effects=_COLLECTIVE_EFFECTS + ("owner_masked_write",),
     supports_flags=True,
@@ -175,7 +179,7 @@ register(AlgorithmSpec(
     name="naive",
     kind="cc",
     description="literal UPC translation: blocking fine-grained remote accesses",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_naive_upc(graph, machine, faults=faults),
     effects=("fine_grained_read", "fine_grained_write", "barrier"),
     supports_faults=True,
@@ -185,7 +189,7 @@ register(AlgorithmSpec(
     name="smp",
     kind="cc",
     description="single-node shared-memory baseline",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_smp(graph, machine, faults=faults),
     supports_faults=True,
 ))
@@ -194,7 +198,7 @@ register(AlgorithmSpec(
     name="sequential",
     kind="cc",
     description="sequential reference (union-find semantics via the shared grafting rule)",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_sequential(graph, machine),
 ))
 
@@ -202,16 +206,16 @@ register(AlgorithmSpec(
     name="cgm",
     kind="cc",
     description="round-minimizing CGM baseline the paper argues against",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_cc_cgm(graph, machine),
 ))
 
 
 def _lt_solve(variant):
-    def solve(graph, machine, opts, tprime, sort_method, faults, adapter, integrity):
+    def solve(graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience):
         return solve_cc_lt(
             graph, machine, opts, tprime, sort_method,
-            variant=variant, faults=faults, integrity=integrity,
+            variant=variant, faults=faults, integrity=integrity, resilience=resilience,
         )
     return solve
 
@@ -236,10 +240,12 @@ for _variant in ALL_VARIANTS:
         description=f"Liu–Tarjan {_variant.describe()}",
         solve=_lt_solve(_variant),
         invariants=("lt_invariant_violation",),
-        effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS + ("verify_lt_round",),
+        effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS + _RESILIENCE_EFFECTS
+        + ("verify_lt_round",),
         supports_flags=True,
         supports_faults=True,
         supports_integrity=True,
+        supports_resilience=True,
         tuning=TuningEntry(
             lattice="all-flags",
             edge_collectives=_LT_EDGE_COLLECTIVES[_variant.connect]
@@ -258,18 +264,19 @@ register(AlgorithmSpec(
     name="collective",
     kind="mst",
     description="lock-free SetDMin Borůvka on the collectives",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_mst_collective(
             graph, machine, opts, tprime, sort_method,
-            faults=faults, adapter=adapter, integrity=integrity,
+            faults=faults, adapter=adapter, integrity=integrity, resilience=resilience,
         ),
     invariants=("star_invariant_violation", "mst_selection_violation"),
-    effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS
+    effects=_COLLECTIVE_EFFECTS + _REPAIR_EFFECTS + _RESILIENCE_EFFECTS
     + ("setdmin", "verify_star_round", "verify_mst_selection"),
     supports_flags=True,
     supports_faults=True,
     supports_integrity=True,
     supports_adapter=True,
+    supports_resilience=True,
     tuning=TuningEntry(lattice="full"),
 ))
 
@@ -277,7 +284,7 @@ register(AlgorithmSpec(
     name="naive",
     kind="mst",
     description="literal UPC translation with per-vertex locks",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_mst_naive_upc(graph, machine, faults=faults),
     supports_faults=True,
 ))
@@ -286,7 +293,7 @@ register(AlgorithmSpec(
     name="smp",
     kind="mst",
     description="single-node lock-based Borůvka baseline",
-    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity:
+    solve=lambda graph, machine, opts, tprime, sort_method, faults, adapter, integrity, resilience:
         solve_mst_smp(graph, machine, faults=faults),
     supports_faults=True,
 ))
@@ -297,6 +304,6 @@ for _algo in ("kruskal", "prim", "boruvka"):
         kind="mst",
         description=f"sequential {_algo}",
         solve=(lambda a: lambda graph, machine, opts, tprime, sort_method,
-               faults, adapter, integrity:
+               faults, adapter, integrity, resilience:
                solve_mst_sequential(graph, machine, algorithm=a))(_algo),
     ))

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 __all__ = ["Effect", "EFFECTS", "effect_of", "registry_drift"]
 
 #: Owner tags checked by :func:`registry_drift`.
-_OWNERS = ("runtime", "collectives", "shared_array", "integrity", "checkpoint")
+_OWNERS = ("runtime", "collectives", "shared_array", "integrity", "checkpoint", "resilience")
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,10 @@ def _integ(**kw) -> Effect:
 
 def _ck(**kw) -> Effect:
     return Effect(owner="checkpoint", **kw)
+
+
+def _res(**kw) -> Effect:
+    return Effect(owner="resilience", **kw)
 
 
 #: name -> Effect.  Names are matched on the *last* component of a call
@@ -171,6 +175,17 @@ EFFECTS: dict[str, Effect] = {
     # -- RoundCheckpointer -------------------------------------------------
     "save": _ck(charges=True),
     "restore": _ck(charges=True, taints=True),
+    # -- ResilientSession (owner-block redundancy + epoch recovery; see
+    # repro.resilience).  enroll/commit_round ship replica traffic as
+    # real charged communication; on_loss raises NodeLoss (or
+    # UnrecoverableLossError) into the recovery scope; recover_loss
+    # restores checkpoint state (tainted, like restore) and rebuilds the
+    # run on the post-loss membership. -------------------------------------
+    "enroll": _res(charges=True, comm=True),
+    "commit_round": _res(charges=True, comm=True),
+    "mark_write": _res(),
+    "on_loss": _res(charges=True, faultable=True),
+    "recover_loss": _res(charges=True, comm=True, faultable=True, taints=True),
 }
 
 
@@ -204,6 +219,7 @@ def registry_drift() -> list[str]:
     import repro.collectives as collectives
     from repro.faults.checkpoint import RoundCheckpointer
     from repro.integrity.monitor import IntegrityMonitor, guard_payload  # noqa: F401
+    from repro.resilience.session import ResilientSession
     from repro.runtime.runtime import PGASRuntime
     from repro.runtime.shared_array import SharedArray
 
@@ -213,6 +229,7 @@ def registry_drift() -> list[str]:
         "shared_array": _public_routines(SharedArray),
         "integrity": _public_routines(IntegrityMonitor) | {"guard_payload"},
         "checkpoint": _public_routines(RoundCheckpointer),
+        "resilience": _public_routines(ResilientSession),
         "collectives": {
             name
             for name in collectives.__all__

@@ -108,13 +108,18 @@ _FAULT_EXCS = {
     "ThreadCrash",
     "IntegrityError",
     "FaultError",
+    "NodeLoss",
+    "UnrecoverableLossError",
     "ReproError",
     "Exception",
     "BaseException",
 }
 
 #: Constructors whose presence marks a function as fault-enabled (FX).
-_RECOVERY_CTORS = {"RoundCheckpointer", "RetryPolicy"}
+#: ResilientSession rides along: a solver that wires loss recovery has
+#: opted into the fault story, so its reconstruction/remap paths must
+#: sit inside fault-catching scopes like every other faultable effect.
+_RECOVERY_CTORS = {"RoundCheckpointer", "RetryPolicy", "ResilientSession"}
 
 
 class FunctionSummary:

@@ -26,7 +26,7 @@ from ..collectives.getd import getd
 from ..collectives.setd import setd
 from ..core.optimizations import OptimizationFlags
 from ..core.results import CCResult, SolveInfo
-from ..errors import FaultError, IntegrityError, ThreadCrash
+from ..errors import FaultError, IntegrityError, NodeLoss, ThreadCrash
 from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
@@ -86,6 +86,7 @@ def solve_cc_collective(
     faults=None,
     adapter=None,
     integrity=None,
+    resilience=None,
 ) -> CCResult:
     """Connected components via GetD/SetD collectives.
 
@@ -108,10 +109,25 @@ def solve_cc_collective(
     revise ``opts``/``tprime`` for the next round (performance knobs
     only — labels are identical with or without it).  Profiling is
     forced on so the adapter has phase records to read.
+
+    ``resilience`` accepts a :class:`~repro.resilience.RedundancyConfig`
+    (or ``True``): the label array then keeps a charged off-node replica
+    (buddy) or parity block of its round-top state, and a permanent
+    :class:`~repro.faults.NodeLossEvent` triggers epoch recovery — the
+    dead node's blocks are reconstructed, ownership is remapped onto the
+    survivors (or a cold spare), and the lost round replays under the
+    new membership.  Without it a permanent loss raises
+    :class:`~repro.errors.UnrecoverableLossError`.
     """
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults, integrity=integrity)
+    rt = PGASRuntime(
+        machine,
+        profile=adapter is not None,
+        faults=faults,
+        integrity=integrity,
+        resilience=resilience,
+    )
     if adapter is not None:
         adapter.begin(rt)
     n = graph.n
@@ -123,11 +139,17 @@ def solve_cc_collective(
     u_part, v_part = ep.u, ep.v
     d = rt.shared_array(np.arange(n, dtype=np.int64), name="cc.d")
     rt.protect_array(d)
+    if rt.resilience is not None:
+        rt.resilience.enroll(d)
     vert_offsets = _local_label_offsets(d)
     ctx = CollectiveContext()
 
-    # Verify-and-repair needs the checkpoint even with a crash-free plan.
-    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    # Verify-and-repair needs the checkpoint even with a crash-free plan,
+    # and loss recovery replays from it under the new membership.
+    ck = RoundCheckpointer(
+        rt,
+        enabled=True if (rt.integrity is not None or rt.resilience is not None) else None,
+    )
     repairs = 0
     repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
     iteration = 0
@@ -141,7 +163,11 @@ def solve_cc_collective(
             # only ever holds invariant-clean state to restore into.
             if rt.integrity is not None:
                 rt.integrity.verify_cc_round(d)
-            ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
+            ck.save(arrays={d.name: d.data}, u_part=u_part, v_part=v_part)
+            if rt.resilience is not None:
+                # Committed (recoverable) state advances with the save,
+                # shipping only the dirty deltas to the replica owners.
+                rt.resilience.commit_round()
             rt.counters.add(iterations=1)
 
             du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
@@ -182,10 +208,22 @@ def solve_cc_collective(
                     # must not serve buffers for the old request lists.
                     ctx.invalidate()
                 opts = new_opts
+        except NodeLoss as loss:
+            # Permanent membership change: reconstruct the dead node's
+            # blocks from redundancy, remap onto the survivors (or a
+            # spare), and replay the lost round on the new runtime.
+            recovered = rt.resilience.recover_loss(loss, ck, adapter=adapter)
+            rt, machine, ck = recovered.rt, recovered.machine, recovered.ck
+            d = recovered.arrays[d.name]
+            u_part, v_part = recovered.state["u_part"], recovered.state["v_part"]
+            vert_offsets = _local_label_offsets(d)
+            ctx = CollectiveContext()
+            iteration -= 1
+            continue
         except (ThreadCrash, IntegrityError) as fault:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
-            d.data[:] = state["d"]
+            d.data[:] = state[d.name]
             u_part, v_part = state["u_part"], state["v_part"]
             if rt.integrity is not None:
                 rt.integrity.resync(d)

@@ -119,6 +119,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         " flip (e.g. 1e-4); cc/mst only",
     )
     parser.add_argument(
+        "--fault-node-loss", type=float, default=0.0, metavar="AT",
+        help="permanently lose a node at this modeled time in seconds"
+        " (e.g. 2e-4); cc/mst collective only — pair with --redundancy"
+        " or the run aborts with UnrecoverableLossError",
+    )
+    parser.add_argument(
+        "--fault-loss-node", type=int, default=1, metavar="N",
+        help="which node --fault-node-loss kills (default 1)",
+    )
+    parser.add_argument(
+        "--redundancy", choices=("buddy", "parity"), default=None,
+        help="owner-block redundancy mode: replicate protected arrays so"
+        " a permanent node loss is survivable (cc/mst collective + LT variants)",
+    )
+    parser.add_argument(
+        "--spares", type=int, default=0,
+        help="cold spare nodes recovery may promote instead of shrinking",
+    )
+    parser.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the fault plan's RNG"
     )
     parser.add_argument(
@@ -203,7 +222,18 @@ def _fault_plan(args: argparse.Namespace, machine):
         total_threads=machine.total_threads,
         corruption=args.fault_corruption,
         payload_corruption=args.fault_payload_corruption,
+        node_loss_at=getattr(args, "fault_node_loss", 0.0),
+        node_loss_node=getattr(args, "fault_loss_node", 1),
     )
+
+
+def _resilience_config(args: argparse.Namespace):
+    """The RedundancyConfig behind ``--redundancy`` (None when unused)."""
+    if getattr(args, "redundancy", None) is None:
+        return None
+    from .resilience import RedundancyConfig
+
+    return RedundancyConfig(mode=args.redundancy, spares=args.spares)
 
 
 def _reject_fault_flags(args: argparse.Namespace, command: str) -> None:
@@ -214,10 +244,13 @@ def _reject_fault_flags(args: argparse.Namespace, command: str) -> None:
         or getattr(args, "fault_stragglers", 0)
         or getattr(args, "fault_corruption", 0.0)
         or getattr(args, "fault_payload_corruption", 0.0)
+        or getattr(args, "fault_node_loss", 0.0)
     ):
         raise ConfigError(f"fault injection is only supported for cc/mst, not {command}")
     if getattr(args, "integrity", False):
         raise ConfigError(f"integrity protection is only supported for cc/mst, not {command}")
+    if getattr(args, "redundancy", None) is not None:
+        raise ConfigError(f"redundancy is only supported for cc/mst, not {command}")
 
 
 @contextlib.contextmanager
@@ -263,6 +296,12 @@ def _print_info(info: SolveInfo) -> None:
             f"silent  : {c.corruptions_injected} corruptions injected /"
             f" {c.corruptions_detected} detected / {c.repairs} repairs"
         )
+    if c.node_losses or c.replicas_written:
+        print(
+            f"resil   : {c.node_losses} node loss(es) / {c.epoch_changes} epoch"
+            f" change(s) / {c.blocks_reconstructed} blocks rebuilt /"
+            f" {c.replicas_written:,} replica elements shipped"
+        )
     for event in info.trace.events:
         print(f"event   : {event}")
 
@@ -277,6 +316,7 @@ def _cmd_cc(args: argparse.Namespace) -> int:
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
             integrity=True if args.integrity else None,
+            resilience=_resilience_config(args),
         )
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
@@ -293,6 +333,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
             integrity=True if args.integrity else None,
+            resilience=_resilience_config(args),
         )
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
@@ -365,6 +406,9 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         loss=args.loss,
         stragglers=args.stragglers,
         crashes=args.crashes,
+        node_losses=args.node_losses,
+        redundancy=args.redundancy or ("buddy" if args.node_losses else ""),
+        spares=args.spares,
         unprotected=not args.no_unprotected,
     )
     print(banner(
@@ -379,6 +423,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
           + (f" + {s['unprotected_runs']} unprotected" if s["unprotected_runs"] else ""))
     print(f"injected  : {s['injected']} corruptions, {s['detected']} detected,"
           f" {s['repairs']} repairs")
+    if s.get("node_losses"):
+        print(f"losses    : {s['node_losses']} permanent node losses survived,"
+              f" {s['epoch_changes']} epoch changes,"
+              f" {s['blocks_reconstructed']} blocks rebuilt")
     print(f"protected : {s['protected_wrong']} wrong, {s['protected_failed']} gave up")
     if s["unprotected_runs"]:
         print(f"unprotect : {s['unprotected_wrong_or_error']} wrong or errored"
@@ -404,6 +452,10 @@ def _cmd_soak_service(args: argparse.Namespace) -> int:
         corruption=args.corruption,
         payload_corruption=args.payload_corruption,
         loss=args.loss,
+        # --node-losses N turns on the node-kill chaos leg: half the
+        # jobs lose a node of their simulated machine mid-solve.
+        node_loss_fraction=0.5 if args.node_losses else 0.0,
+        redundancy=args.redundancy or "buddy",
     )
     print(banner(
         f"service soak — {config.jobs} chaos job(s) through a live server"
@@ -757,6 +809,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_soak.add_argument("--loss", type=float, default=0.0, help="per-message loss probability")
     p_soak.add_argument("--stragglers", type=int, default=0, help="straggler threads (4x)")
     p_soak.add_argument("--crashes", type=int, default=0, help="scheduled crashes per run")
+    p_soak.add_argument(
+        "--node-losses", type=int, default=0,
+        help="permanent node losses scheduled per run (protected legs"
+        " recover through redundancy; unprotected legs abort loudly)",
+    )
+    p_soak.add_argument(
+        "--redundancy", choices=("buddy", "parity"), default=None,
+        help="owner-block redundancy mode for the protected legs"
+        " (default: buddy when --node-losses is set)",
+    )
+    p_soak.add_argument(
+        "--spares", type=int, default=0,
+        help="cold spare nodes recovery may promote instead of shrinking",
+    )
     p_soak.add_argument(
         "--no-unprotected", action="store_true",
         help="skip the unprotected comparison legs (protected runs only)",

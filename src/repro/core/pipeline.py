@@ -97,7 +97,10 @@ CC_IMPLS = implementations("cc") + ("auto",)
 MST_IMPLS = implementations("mst") + ("auto",)
 
 
-def _dispatch(kind, impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity):
+def _dispatch(
+    kind, impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity,
+    resilience=None,
+):
     """Resolve ``impl`` through :mod:`repro.algorithms` and run it, with
     capability gates replacing the old hard-coded impl lists."""
     spec = get_algorithm(kind, impl)
@@ -117,9 +120,17 @@ def _dispatch(kind, impl, graph, machine, opts, tprime, sort_method, faults, ada
             f"integrity protection is not supported for {kind.upper()} impl {impl!r};"
             f" use one of {supported}"
         )
+    if resilience is not None and not spec.supports_resilience:
+        supported = tuple(
+            s.name for (k, _), s in REGISTRY.items() if k == kind and s.supports_resilience
+        )
+        raise ConfigError(
+            f"node-loss resilience is not supported for {kind.upper()} impl {impl!r};"
+            f" use one of {supported}"
+        )
     return spec.solve(
         graph, machine, opts, tprime, sort_method,
-        faults, adapter if spec.supports_adapter else None, integrity,
+        faults, adapter if spec.supports_adapter else None, integrity, resilience,
     )
 
 
@@ -135,6 +146,7 @@ def connected_components(
     graph_kind: str = "random",
     adapt: bool = True,
     integrity=None,
+    resilience=None,
 ) -> CCResult:
     """Solve connected components on the simulated machine.
 
@@ -165,12 +177,20 @@ def connected_components(
         Optional :class:`~repro.integrity.IntegrityConfig` (or ``True``)
         enabling silent-fault detection and verify-and-repair
         (``collective`` impl only — it owns the checkpoint/replay loop).
+    resilience:
+        Optional :class:`~repro.resilience.RedundancyConfig` (or
+        ``True``) enabling survival of permanent node losses: the label
+        array keeps charged off-node replicas/parity, and a fired
+        :class:`~repro.faults.NodeLossEvent` triggers epoch recovery
+        instead of :class:`~repro.errors.UnrecoverableLossError`
+        (``collective`` and ``lt-*`` impls).
     """
     impl, opts, tprime, adapter = _resolve_auto(
         "cc", graph, machine, impl, opts, tprime, graph_kind, adapt
     )
     result = _dispatch(
-        "cc", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity
+        "cc", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity,
+        resilience=resilience,
     )
     if validate:
         check_connected_counts(result.labels, graph)
@@ -189,6 +209,7 @@ def minimum_spanning_forest(
     graph_kind: str = "random",
     adapt: bool = True,
     integrity=None,
+    resilience=None,
 ) -> MSTResult:
     """Solve minimum spanning forest on the simulated machine.
 
@@ -202,13 +223,17 @@ def minimum_spanning_forest(
     the auto-mode context (probe family; allow mid-solve adaptation —
     t' only for MST, offload adaptation is structurally disabled).
     ``integrity`` optionally enables silent-fault detection and
-    verify-and-repair (``collective`` impl only).
+    verify-and-repair (``collective`` impl only).  ``resilience``
+    optionally enables permanent-node-loss survival via charged
+    owner-block redundancy and epoch recovery (``collective`` impl
+    only; see :mod:`repro.resilience`).
     """
     impl, opts, tprime, adapter = _resolve_auto(
         "mst", graph, machine, impl, opts, tprime, graph_kind, adapt
     )
     result = _dispatch(
-        "mst", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity
+        "mst", impl, graph, machine, opts, tprime, sort_method, faults, adapter, integrity,
+        resilience=resilience,
     )
     if validate:
         check_spanning_forest(graph, result.edge_ids)

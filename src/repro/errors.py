@@ -18,6 +18,8 @@ __all__ = [
     "FaultError",
     "ThreadCrash",
     "IntegrityError",
+    "NodeLoss",
+    "UnrecoverableLossError",
     "JobCancelled",
 ]
 
@@ -91,6 +93,49 @@ class ThreadCrash(FaultError):
         self.thread = thread
         self.at_time = at_time
         self.recovery = recovery
+
+
+class NodeLoss(FaultError):
+    """Control-flow signal for a *permanent* node failure.
+
+    Raised by the runtime when a :class:`~repro.faults.NodeLossEvent`
+    fires at a synchronization point and a
+    :class:`~repro.resilience.ResilientSession` is active: the session
+    has already marked the node dead (its owner blocks are gone), and
+    the solver's recovery handler must now call
+    :meth:`~repro.resilience.ResilientSession.recover_loss` to
+    reconstruct the lost blocks, remap ownership onto the new
+    membership epoch, and replay from the round checkpoint.  Unlike
+    :class:`ThreadCrash` the failed hardware never comes back.
+    """
+
+    def __init__(self, node: int, at_time: float) -> None:
+        super().__init__(
+            f"node {node} permanently lost at t={at_time * 1e3:.3f} ms"
+        )
+        self.node = node
+        self.at_time = at_time
+
+
+class UnrecoverableLossError(FaultError):
+    """A permanent node loss fired with no recovery path available.
+
+    Raised instead of :class:`NodeLoss` when no
+    :class:`~repro.resilience.ResilientSession` protects the run (or
+    when the membership cannot shrink further — a single-node machine
+    has no survivors).  The run fails loudly rather than hanging on a
+    barrier that a dead node will never reach or serving a forest
+    computed from vanished owner blocks.
+    """
+
+    def __init__(self, node: int, at_time: float, reason: str) -> None:
+        super().__init__(
+            f"node {node} permanently lost at t={at_time * 1e3:.3f} ms "
+            f"and the run cannot recover: {reason}"
+        )
+        self.node = node
+        self.at_time = at_time
+        self.reason = reason
 
 
 class JobCancelled(ReproError, RuntimeError):

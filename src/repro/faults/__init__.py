@@ -15,10 +15,10 @@ are injected here too; their detection and repair live in
 taxonomy and the determinism guarantees.
 """
 
-from ..errors import FaultError, ThreadCrash
+from ..errors import FaultError, NodeLoss, ThreadCrash, UnrecoverableLossError
 from .checkpoint import RoundCheckpointer
 from .injector import FaultInjector
-from .plan import CrashEvent, FaultPlan, NicDegradation, RetryPolicy
+from .plan import CrashEvent, FaultPlan, NicDegradation, NodeLossEvent, RetryPolicy
 
 __all__ = [
     "CrashEvent",
@@ -26,7 +26,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "NicDegradation",
+    "NodeLoss",
+    "NodeLossEvent",
     "RetryPolicy",
     "RoundCheckpointer",
     "ThreadCrash",
+    "UnrecoverableLossError",
 ]

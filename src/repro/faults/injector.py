@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..runtime.machine import MachineConfig
-from .plan import CrashEvent, FaultPlan
+from .plan import CrashEvent, FaultPlan, NodeLossEvent
 
 __all__ = ["FaultInjector"]
 
@@ -57,6 +57,11 @@ class FaultInjector:
         for event in plan.crashes:
             if event.thread >= self.s:
                 raise ConfigError(f"crash thread {event.thread} out of range [0, {self.s})")
+        for loss_event in plan.node_losses:
+            if loss_event.node >= machine.nodes:
+                raise ConfigError(
+                    f"lost node {loss_event.node} out of range [0, {machine.nodes})"
+                )
 
         #: Per-node uplink loss probability.
         self.node_loss = np.full(machine.nodes, plan.loss, dtype=np.float64)
@@ -71,6 +76,10 @@ class FaultInjector:
         #: Crash events still pending, ordered by scheduled time so the
         #: earliest-due event is always consumed first (deterministic).
         self._pending: List[CrashEvent] = sorted(plan.crashes, key=lambda e: e.at_time)
+        #: Permanent node-loss events still pending, earliest-due first.
+        self._pending_losses: List[NodeLossEvent] = sorted(
+            plan.node_losses, key=lambda e: e.at_time
+        )
         #: Shared arrays registered as corruption targets (owner-block
         #: bit flips), and the virtual timestamp of the next flip event.
         self._corruptible: List = []
@@ -145,6 +154,37 @@ class FaultInjector:
     @property
     def pending_crashes(self) -> int:
         return len(self._pending)
+
+    @property
+    def unfired_crashes(self) -> tuple:
+        """The crash events not yet consumed, earliest-due first (the
+        resilience layer remaps these onto the post-loss membership)."""
+        return tuple(self._pending)
+
+    # -- permanent node loss ---------------------------------------------------
+
+    def poll_node_loss(self, times: np.ndarray) -> Optional[NodeLossEvent]:
+        """Consume and return the earliest pending permanent node loss
+        any of whose node's threads' clocks have passed its scheduled
+        time, if any.  Events naming a node that is no longer part of
+        the membership (dropped by a prior recovery's plan remap) are
+        validated away at construction, so whatever is pending here is
+        live."""
+        for i, event in enumerate(self._pending_losses):
+            members = times[self.node_of == event.node]
+            if members.size and float(members.max()) >= event.at_time:
+                del self._pending_losses[i]
+                return event
+        return None
+
+    @property
+    def pending_node_losses(self) -> int:
+        return len(self._pending_losses)
+
+    @property
+    def unfired_node_losses(self) -> tuple:
+        """The node-loss events not yet consumed, earliest-due first."""
+        return tuple(self._pending_losses)
 
     # -- silent corruption ---------------------------------------------------
 

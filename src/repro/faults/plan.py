@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["RetryPolicy", "NicDegradation", "CrashEvent", "FaultPlan"]
+__all__ = ["RetryPolicy", "NicDegradation", "CrashEvent", "NodeLossEvent", "FaultPlan"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +130,31 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class NodeLossEvent:
+    """A scheduled *permanent* loss of one simulated node.
+
+    Fires at the first synchronization point after any of the node's
+    threads' virtual clocks pass ``at_time``.  Unlike a
+    :class:`CrashEvent` the node never restarts: its owner blocks are
+    gone, the membership must change, and the run either recovers
+    through :mod:`repro.resilience` (reconstruct from replicas/parity,
+    remap onto the survivors or a cold spare, replay the round) or
+    aborts with :class:`~repro.errors.UnrecoverableLossError`.  Each
+    event fires at most once; events naming an already-dead node are
+    skipped.
+    """
+
+    node: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("lost node must be >= 0")
+        if self.at_time < 0:
+            raise ConfigError("loss time must be non-negative")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded, declarative description of a run's injected faults.
 
@@ -148,6 +173,9 @@ class FaultPlan:
         charge — compute and communication — is stretched by its factor.
     nic_degradations, crashes:
         Transient NIC windows and scheduled crash events.
+    node_losses:
+        Scheduled :class:`NodeLossEvent` permanent node failures —
+        membership-changing, unlike the transient ``crashes``.
     corruption:
         Silent bit-flip rate in the owner blocks of protected shared
         arrays: expected flips *per element per second of modeled
@@ -168,6 +196,7 @@ class FaultPlan:
     stragglers: Mapping[int, float] = field(default_factory=dict)
     nic_degradations: Tuple[NicDegradation, ...] = ()
     crashes: Tuple[CrashEvent, ...] = ()
+    node_losses: Tuple[NodeLossEvent, ...] = ()
     corruption: float = 0.0
     payload_corruption: float = 0.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -189,6 +218,7 @@ class FaultPlan:
                 )
         object.__setattr__(self, "nic_degradations", tuple(self.nic_degradations))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "node_losses", tuple(self.node_losses))
 
     @property
     def any_faults(self) -> bool:
@@ -201,6 +231,7 @@ class FaultPlan:
             or any(f > 1.0 for f in self.stragglers.values())
             or self.nic_degradations
             or self.crashes
+            or self.node_losses
             or self.corruption > 0.0
             or self.payload_corruption > 0.0
         )
@@ -212,6 +243,10 @@ class FaultPlan:
     @property
     def has_corruption(self) -> bool:
         return self.corruption > 0.0 or self.payload_corruption > 0.0
+
+    @property
+    def has_node_loss(self) -> bool:
+        return bool(self.node_losses)
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -232,20 +267,29 @@ class FaultPlan:
         straggler_factor: float = 4.0,
         corruption: float = 0.0,
         payload_corruption: float = 0.0,
+        node_loss_at: float = 0.0,
+        node_loss_node: int = 1,
     ) -> "FaultPlan | None":
         """Build the plan behind ``--fault-loss/--fault-stragglers/
-        --fault-corruption/--fault-payload-corruption``.
+        --fault-corruption/--fault-payload-corruption/--fault-node-loss``.
 
         Straggler threads are drawn deterministically from ``seed`` (a
         dedicated Generator, so the choice does not perturb the
-        injector's own stream).  Returns ``None`` when nothing is asked
-        for, so the zero-overhead default path stays engaged.
+        injector's own stream).  ``node_loss_at > 0`` schedules a
+        *permanent* loss of ``node_loss_node`` at that modeled time.
+        Returns ``None`` when nothing is asked for, so the zero-overhead
+        default path stays engaged.
         """
         if loss < 0.0:
             raise ConfigError(f"loss probability must be in [0, 1): got {loss}")
         if stragglers < 0:
             raise ConfigError(f"straggler count must be >= 0: got {stragglers}")
-        if loss == 0.0 and stragglers == 0 and corruption == 0.0 and payload_corruption == 0.0:
+        if node_loss_at < 0.0:
+            raise ConfigError(f"node loss time must be >= 0: got {node_loss_at}")
+        if (
+            loss == 0.0 and stragglers == 0 and corruption == 0.0
+            and payload_corruption == 0.0 and node_loss_at == 0.0
+        ):
             return None
         if stragglers > total_threads:
             raise ConfigError(
@@ -256,10 +300,15 @@ class FaultPlan:
             picker = np.random.default_rng(seed)
             chosen = picker.choice(total_threads, size=stragglers, replace=False)
             slow = {int(t): straggler_factor for t in chosen}
+        losses = (
+            (NodeLossEvent(node=node_loss_node, at_time=node_loss_at),)
+            if node_loss_at > 0.0 else ()
+        )
         return cls(
             seed=seed,
             loss=loss,
             stragglers=slow,
             corruption=corruption,
             payload_corruption=payload_corruption,
+            node_losses=losses,
         )

@@ -2,7 +2,8 @@
 
 Each soak iteration builds a fresh seeded graph, composes a fault plan
 (silent block/payload corruption, optionally message loss, stragglers,
-and scheduled crashes), and solves it twice per algorithm:
+scheduled crashes, and permanent node losses), and solves it twice per
+algorithm:
 
 * **unprotected** — fault plan only.  Silent flips land and nothing
   checks them; the run is expected to sometimes produce a *wrong but
@@ -30,7 +31,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..errors import ConfigError, ReproError
-from ..faults.plan import CrashEvent, FaultPlan
+from ..faults.plan import CrashEvent, FaultPlan, NodeLossEvent
 from .config import IntegrityConfig
 
 __all__ = ["SoakConfig", "run_soak", "ServiceSoakConfig", "run_service_soak"]
@@ -58,6 +59,13 @@ class SoakConfig:
     loss: float = 0.0
     stragglers: int = 0
     crashes: int = 0
+    #: Permanent node losses scheduled per run.  The protected leg
+    #: survives them through ``redundancy``; the unprotected leg aborts
+    #: with ``UnrecoverableLossError`` — the loud failure the report
+    #: documents.
+    node_losses: int = 0
+    redundancy: str = ""
+    spares: int = 0
     unprotected: bool = True
 
     def __post_init__(self) -> None:
@@ -68,6 +76,21 @@ class SoakConfig:
         for algo in self.algos:
             if algo not in ("cc", "mst"):
                 raise ConfigError(f"unknown soak algo {algo!r}; expected 'cc' or 'mst'")
+        if self.node_losses < 0:
+            raise ConfigError(f"node_losses must be >= 0: got {self.node_losses}")
+        if self.redundancy not in ("", "buddy", "parity"):
+            raise ConfigError(
+                f"redundancy must be '', 'buddy' or 'parity': got {self.redundancy!r}"
+            )
+        if self.node_losses and not self.redundancy:
+            raise ConfigError(
+                "node_losses > 0 needs a redundancy mode, or every protected"
+                " run would abort unrecoverably"
+            )
+        if self.node_losses >= self.nodes:
+            raise ConfigError(
+                f"cannot lose {self.node_losses} of {self.nodes} nodes and keep solving"
+            )
 
 
 def _compose_plan(config: SoakConfig, seed: int, total_threads: int) -> FaultPlan:
@@ -82,11 +105,16 @@ def _compose_plan(config: SoakConfig, seed: int, total_threads: int) -> FaultPla
         CrashEvent(thread=int((seed + j) % total_threads), at_time=2.0e-4 * (j + 1))
         for j in range(config.crashes)
     )
+    losses = tuple(
+        NodeLossEvent(node=int((seed + j) % config.nodes), at_time=3.0e-4 * (j + 1))
+        for j in range(config.node_losses)
+    )
     return FaultPlan(
         seed=seed,
         loss=config.loss,
         stragglers=slow,
         crashes=crashes,
+        node_losses=losses,
         corruption=config.corruption,
         payload_corruption=config.payload_corruption,
     )
@@ -146,15 +174,24 @@ def _counters(result) -> dict:
         "retries": c.retries,
         "crashes": c.crashes,
         "restores": c.checkpoint_restores,
+        "node_losses": c.node_losses,
+        "epoch_changes": c.epoch_changes,
+        "blocks_reconstructed": c.blocks_reconstructed,
     }
 
 
-def _solve(algo: str, g, gw, machine, plan, integrity):
+def _solve(algo: str, g, gw, machine, plan, integrity, resilience=None):
     from ..core.pipeline import connected_components, minimum_spanning_forest
 
     if algo == "cc":
-        return connected_components(g, machine, impl="collective", faults=plan, integrity=integrity)
-    return minimum_spanning_forest(gw, machine, impl="collective", faults=plan, integrity=integrity)
+        return connected_components(
+            g, machine, impl="collective", faults=plan,
+            integrity=integrity, resilience=resilience,
+        )
+    return minimum_spanning_forest(
+        gw, machine, impl="collective", faults=plan,
+        integrity=integrity, resilience=resilience,
+    )
 
 
 def _run_iteration(task: "tuple[SoakConfig, int]") -> list:
@@ -173,11 +210,16 @@ def _run_iteration(task: "tuple[SoakConfig, int]") -> list:
     g = random_graph(config.n, config.m, seed=seed_i)
     gw = with_random_weights(g, seed=seed_i + 1)
     plan = _compose_plan(config, seed_i, machine.total_threads)
+    resilience = None
+    if config.redundancy:
+        from ..resilience import RedundancyConfig
+
+        resilience = RedundancyConfig(mode=config.redundancy, spares=config.spares)
     records = []
     for algo in config.algos:
         record = {"iteration": i, "algo": algo, "seed": seed_i}
         try:
-            res = _solve(algo, g, gw, machine, plan, IntegrityConfig())
+            res = _solve(algo, g, gw, machine, plan, IntegrityConfig(), resilience)
         except ReproError as err:
             record["protected"] = {"failed": f"{type(err).__name__}: {err}"}
         else:
@@ -212,6 +254,9 @@ def _summarize(records: list) -> dict:
         "injected": 0,
         "detected": 0,
         "repairs": 0,
+        "node_losses": 0,
+        "epoch_changes": 0,
+        "blocks_reconstructed": 0,
         "unprotected_runs": 0,
         "unprotected_wrong_or_error": 0,
     }
@@ -226,6 +271,9 @@ def _summarize(records: list) -> dict:
             summary["injected"] += prot["injected"]
             summary["detected"] += prot["detected"]
             summary["repairs"] += prot["repairs"]
+            summary["node_losses"] += prot.get("node_losses", 0)
+            summary["epoch_changes"] += prot.get("epoch_changes", 0)
+            summary["blocks_reconstructed"] += prot.get("blocks_reconstructed", 0)
         unprot = record.get("unprotected")
         if unprot is not None:
             summary["unprotected_runs"] += 1
@@ -303,6 +351,11 @@ class ServiceSoakConfig:
     payload_corruption: float = 0.0
     loss: float = 0.05
     fault_fraction: float = 0.5
+    #: Fraction of jobs that permanently lose one node of their simulated
+    #: machine mid-solve (redundancy-protected, so the job must still
+    #: verify and complete).
+    node_loss_fraction: float = 0.0
+    redundancy: str = "buddy"
     deadline_s: float = 30.0
     restart: bool = True
     poll_timeout_s: float = 180.0
@@ -312,6 +365,12 @@ class ServiceSoakConfig:
             raise ConfigError(f"service soak needs >= 1 job: got {self.jobs}")
         if not 0.0 <= self.fault_fraction <= 1.0:
             raise ConfigError(f"fault_fraction must be in [0, 1]: got {self.fault_fraction}")
+        if not 0.0 <= self.node_loss_fraction <= 1.0:
+            raise ConfigError(
+                f"node_loss_fraction must be in [0, 1]: got {self.node_loss_fraction}"
+            )
+        if self.redundancy not in ("buddy", "parity"):
+            raise ConfigError(f"redundancy must be 'buddy' or 'parity': got {self.redundancy!r}")
 
 
 def _service_soak_body(config: ServiceSoakConfig, rng, index: int) -> dict:
@@ -336,6 +395,12 @@ def _service_soak_body(config: ServiceSoakConfig, rng, index: int) -> dict:
             body["corruption"] = config.corruption
             body["payload_corruption"] = config.payload_corruption
             body["integrity"] = True
+    if rng.random() < config.node_loss_fraction:
+        # Kill one node of this job's simulated machine mid-solve; the
+        # worker must recover through redundancy and still verify.
+        body["node_loss_at"] = 3.0e-4
+        body["node_loss_node"] = 1
+        body["redundancy"] = config.redundancy
     return body
 
 

@@ -45,7 +45,7 @@ from ..collectives.getd import getd
 from ..collectives.setd import setd
 from ..core.optimizations import OptimizationFlags
 from ..core.results import CCResult, SolveInfo
-from ..errors import ConvergenceError, FaultError, IntegrityError, ThreadCrash
+from ..errors import ConvergenceError, FaultError, IntegrityError, NodeLoss, ThreadCrash
 from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
@@ -176,20 +176,21 @@ def solve_cc_lt(
     variant: "LTVariant | str" = "lt-rf",
     faults=None,
     integrity=None,
+    resilience=None,
 ) -> CCResult:
     """Connected components via one Liu–Tarjan lattice variant.
 
     Produces labels identical to every other CC implementation in this
     package at convergence (each component labeled by its minimum vertex
-    id).  ``faults`` and ``integrity`` behave exactly as in
-    :func:`~repro.cc.collective.solve_cc_collective` — the checkpoint/
-    replay and verify-and-repair loops are shared skeleton, not
-    per-variant code.
+    id).  ``faults``, ``integrity``, and ``resilience`` behave exactly
+    as in :func:`~repro.cc.collective.solve_cc_collective` — the
+    checkpoint/replay, verify-and-repair, and loss-recovery loops are
+    shared skeleton, not per-variant code.
     """
     variant = parse_variant(variant)
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, faults=faults, integrity=integrity)
+    rt = PGASRuntime(machine, faults=faults, integrity=integrity, resilience=resilience)
     n = graph.n
     impl_name = f"cc-{variant.name}"
     if n == 0:
@@ -200,13 +201,18 @@ def solve_cc_lt(
     u_part, v_part = ep.u, ep.v
     d = rt.shared_array(np.arange(n, dtype=np.int64), name=f"lt.{variant.name}.d")
     rt.protect_array(d)
+    if rt.resilience is not None:
+        rt.resilience.enroll(d)
     sizes = d.local_sizes()
     vert_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
     np.cumsum(sizes, out=vert_offsets[1:])
     ctx = CollectiveContext()
     needs_roots = variant.connect == "root"
 
-    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    ck = RoundCheckpointer(
+        rt,
+        enabled=True if (rt.integrity is not None or rt.resilience is not None) else None,
+    )
     prev_labels = None
     repairs = 0
     repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
@@ -221,7 +227,9 @@ def solve_cc_lt(
             if rt.integrity is not None:
                 rt.integrity.verify_lt_round(d, prev=prev_labels)
                 prev_labels = rt.owner_block_read(d)
-            ck.save(arrays={"d": d.data}, u_part=u_part, v_part=v_part)
+            ck.save(arrays={d.name: d.data}, u_part=u_part, v_part=v_part)
+            if rt.resilience is not None:
+                rt.resilience.commit_round()
             rt.counters.add(iterations=1)
 
             # -- connect phase --------------------------------------------
@@ -277,13 +285,28 @@ def solve_cc_lt(
                 # stars.  Checked inside the recovery scope so a failure
                 # restores and replays like any other detected corruption.
                 rt.integrity.verify_lt_round(d, prev=prev_labels, final=True)
+        except NodeLoss as loss:
+            # Permanent membership change: reconstruct the labels from
+            # redundancy, remap onto the post-loss machine, replay.
+            recovered = rt.resilience.recover_loss(loss, ck)
+            rt, machine, ck = recovered.rt, recovered.machine, recovered.ck
+            d = recovered.arrays[d.name]
+            u_part, v_part = recovered.state["u_part"], recovered.state["v_part"]
+            # The recovered round-top state is the new monotonicity baseline.
+            prev_labels = d.data.copy()
+            sizes = d.local_sizes()
+            vert_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=vert_offsets[1:])
+            ctx = CollectiveContext()
+            iteration -= 1
+            continue
         except (ThreadCrash, IntegrityError) as fault:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
-            d.data[:] = state["d"]
+            d.data[:] = state[d.name]
             u_part, v_part = state["u_part"], state["v_part"]
             # The restored round-top state is the new monotonicity baseline.
-            prev_labels = state["d"].copy()
+            prev_labels = state[d.name].copy()
             if rt.integrity is not None:
                 rt.integrity.resync(d)
             if isinstance(fault, IntegrityError):

@@ -32,7 +32,7 @@ from ..collectives.getd import getd
 from ..collectives.setd import setdmin
 from ..core.optimizations import OptimizationFlags
 from ..core.results import MSTResult, SolveInfo
-from ..errors import FaultError, GraphError, IntegrityError, ThreadCrash
+from ..errors import FaultError, GraphError, IntegrityError, NodeLoss, ThreadCrash
 from ..faults.checkpoint import RoundCheckpointer
 from ..graph.distribute import distribute_edges
 from ..graph.edgelist import EdgeList
@@ -64,6 +64,7 @@ def solve_mst_collective(
     faults=None,
     adapter=None,
     integrity=None,
+    resilience=None,
 ) -> MSTResult:
     """Minimum spanning forest via the lock-free collective Borůvka.
 
@@ -81,12 +82,27 @@ def solve_mst_collective(
     ``adapter`` accepts a :class:`~repro.tuning.OnlineAdapter` (built
     with ``allow_offload=False`` — see the invariant note below); it may
     revise ``tprime`` between Borůvka rounds, never the forest.
+
+    ``resilience`` accepts a :class:`~repro.resilience.RedundancyConfig`
+    (or ``True``): the supervertex labels keep a charged off-node
+    replica/parity of their round-top state, and a permanent node loss
+    triggers epoch recovery — blocks reconstructed, ownership remapped
+    onto the survivors or a cold spare, the lost round replayed.
+    ``minedge`` carries per-round scratch only (reset at every round
+    top), so it is rebuilt fresh on the new membership rather than
+    replicated.
     """
     if graph.w is None:
         raise GraphError("MST needs a weighted graph; use with_random_weights()")
     machine = machine if machine is not None else hps_cluster()
     wall_start = time.perf_counter()
-    rt = PGASRuntime(machine, profile=adapter is not None, faults=faults, integrity=integrity)
+    rt = PGASRuntime(
+        machine,
+        profile=adapter is not None,
+        faults=faults,
+        integrity=integrity,
+        resilience=resilience,
+    )
     if adapter is not None:
         adapter.begin(rt)
     n = graph.n
@@ -104,6 +120,8 @@ def solve_mst_collective(
     # Packed (weight, position) keys have no fold-safe flip domain, so
     # minedge is digest-verified but not a block-flip target.
     rt.protect_array(minedge, corruptible=False)
+    if rt.resilience is not None:
+        rt.resilience.enroll(d)
     sizes_local = d.local_sizes().astype(np.float64)
     vert_offsets = np.zeros(rt.s + 1, dtype=np.int64)
     np.cumsum(d.local_sizes(), out=vert_offsets[1:])
@@ -118,8 +136,12 @@ def solve_mst_collective(
     hot = None
     jump_opts = opts.with_(offload=False)
 
-    # Verify-and-repair needs the checkpoint even with a crash-free plan.
-    ck = RoundCheckpointer(rt, enabled=True if rt.integrity is not None else None)
+    # Verify-and-repair needs the checkpoint even with a crash-free plan,
+    # and loss recovery replays from it under the new membership.
+    ck = RoundCheckpointer(
+        rt,
+        enabled=True if (rt.integrity is not None or rt.resilience is not None) else None,
+    )
     repairs = 0
     repair_bound = 8 * (4 + int(np.ceil(np.log2(max(n, 2)))))
     chosen: list[np.ndarray] = []
@@ -133,10 +155,12 @@ def solve_mst_collective(
             if rt.integrity is not None:
                 rt.integrity.verify_star_round(d)
             ck.save(
-                arrays={"d": d.data},
+                arrays={d.name: d.data},
                 u_part=u_part, v_part=v_part, w_part=w_part, id_part=id_part,
                 nchosen=len(chosen),
             )
+            if rt.resilience is not None:
+                rt.resilience.commit_round()
             rt.counters.add(iterations=1)
 
             du = getd(rt, d, u_part, opts, ctx, "edges.u", tprime, sort_method, hot_value=hot)
@@ -224,10 +248,30 @@ def solve_mst_collective(
                 # D[0] invariant it relies on fails for Boruvka.
                 opts = new_opts.with_(offload=False)
                 jump_opts = opts
+        except NodeLoss as loss:
+            # Permanent membership change: reconstruct d from redundancy,
+            # remap onto the post-loss machine, and replay the round.
+            # minedge is per-round scratch (reset at every round top), so
+            # it is simply re-allocated on the new membership.
+            recovered = rt.resilience.recover_loss(loss, ck, adapter=adapter)
+            rt, machine, ck = recovered.rt, recovered.machine, recovered.ck
+            d = recovered.arrays[d.name]
+            state = recovered.state
+            u_part, v_part = state["u_part"], state["v_part"]
+            w_part, id_part = state["w_part"], state["id_part"]
+            del chosen[state["nchosen"]:]
+            minedge = rt.shared_array(np.full(n, NO_EDGE, dtype=np.int64), name="mst.minedge")
+            rt.protect_array(minedge, corruptible=False)
+            sizes_local = d.local_sizes().astype(np.float64)
+            vert_offsets = np.zeros(rt.s + 1, dtype=np.int64)
+            np.cumsum(d.local_sizes(), out=vert_offsets[1:])
+            ctx = CollectiveContext()
+            iteration -= 1
+            continue
         except (ThreadCrash, IntegrityError) as fault:
             state = ck.restore()
             # repro: waive[CM01] checkpoint restore; RoundCheckpointer charges the pass
-            d.data[:] = state["d"]
+            d.data[:] = state[d.name]
             u_part, v_part = state["u_part"], state["v_part"]
             w_part, id_part = state["w_part"], state["id_part"]
             del chosen[state["nchosen"]:]

@@ -1,0 +1,23 @@
+"""Permanent-node-loss survival for the simulated PGAS cluster.
+
+:class:`RedundancyConfig` declares how enrolled owner blocks stay
+recoverable (buddy replication or XOR parity groups, plus cold spares);
+:class:`ResilientSession` maintains the replicas incrementally from the
+runtime's charged write helpers, detects a fired
+:class:`~repro.faults.NodeLossEvent`, and rebuilds the run on the
+post-loss membership (new epoch, reconstructed blocks, shrink-to-
+survivors or spare adoption, checkpoint replay).  Unprotected runs
+raise :class:`~repro.errors.UnrecoverableLossError` instead — loud,
+never hung, never silently wrong.
+"""
+
+from ..errors import NodeLoss, UnrecoverableLossError
+from .session import RecoveredRun, RedundancyConfig, ResilientSession
+
+__all__ = [
+    "NodeLoss",
+    "RecoveredRun",
+    "RedundancyConfig",
+    "ResilientSession",
+    "UnrecoverableLossError",
+]

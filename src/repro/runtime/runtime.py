@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import CollectiveError, FaultError, ThreadCrash
+from ..errors import CollectiveError, FaultError, ThreadCrash, UnrecoverableLossError
 from .clocks import ThreadClocks
 from .cost import CostModel
 from .machine import MachineConfig
@@ -84,6 +84,16 @@ class PGASRuntime:
     :class:`~repro.errors.IntegrityError` for the solver's repair path.
     With no config (or an all-off one) the integrity layer is skipped
     entirely and modeled times are bit-identical to a build without it.
+
+    ``resilience`` accepts a
+    :class:`~repro.resilience.RedundancyConfig` (or ``True`` for the
+    defaults, or an existing :class:`~repro.resilience.ResilientSession`
+    to adopt across a membership change): enrolled shared arrays then
+    keep charged off-node replicas/parity of their committed state, and
+    a fired permanent :class:`~repro.faults.NodeLossEvent` is routed to
+    the session's recovery protocol instead of killing the run.  With no
+    session, a permanent loss raises
+    :class:`~repro.errors.UnrecoverableLossError` — loud, never a hang.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class PGASRuntime:
         faults=None,
         analyze=False,
         integrity=None,
+        resilience=None,
     ) -> None:
         self.machine = machine
         self.cost = CostModel(machine)
@@ -120,6 +131,18 @@ class PGASRuntime:
             cfg = IntegrityConfig() if integrity is True else integrity
             if cfg.enabled:
                 self.integrity = IntegrityMonitor(cfg, self)
+        self.resilience = None
+        if resilience is not None:
+            from ..resilience.session import RedundancyConfig, ResilientSession
+
+            if isinstance(resilience, ResilientSession):
+                # Adopted across a membership change: the session keeps
+                # its epoch/spare state and rebinds to this runtime.
+                self.resilience = resilience
+                resilience.rt = self
+            else:
+                rcfg = RedundancyConfig() if resilience is True else resilience
+                self.resilience = ResilientSession(rcfg, self)
         self.profiler = None
         from .profiling import PhaseProfiler, current_session
 
@@ -282,6 +305,26 @@ class PGASRuntime:
         self.clocks.barrier(0.0)
         raise ThreadCrash(event.thread, event.at_time, event.recovery)
 
+    def _poll_node_loss(self) -> None:
+        """Fire a due permanent node loss.  With a resilience session the
+        session runs loss detection (and raises
+        :class:`~repro.errors.NodeLoss` into the solver's recovery
+        scope); without one the run fails loudly — survivors would block
+        on the dead node's barrier arrivals forever, and a hang or a
+        silently-wrong answer are the two outcomes this layer exists to
+        rule out."""
+        event = self.faults.poll_node_loss(self.clocks.times)
+        if event is None:
+            return
+        self.counters.add(node_losses=1)
+        if self.resilience is None:
+            raise UnrecoverableLossError(
+                event.node,
+                event.at_time,
+                "no redundancy is configured (run with repro.resilience to survive)",
+            )
+        self.resilience.on_loss(event)
+
     def _poll_corruption(self) -> None:
         """Fire due silent bit-flip events against the registered arrays
         (Poisson process on the virtual clock; each event fires once)."""
@@ -301,6 +344,9 @@ class PGASRuntime:
         if self.analyzer is not None:
             self.analyzer.on_barrier()
         if self.faults is not None:
+            # Permanent losses outrank transient crashes: a node that is
+            # gone for good must open a new epoch, not a round replay.
+            self._poll_node_loss()
             self._poll_crash()
             self._poll_corruption()
         # Digest verification runs at every sync point, right after the
@@ -332,6 +378,7 @@ class PGASRuntime:
         if self.analyzer is not None:
             self.analyzer.on_barrier()
         if self.faults is not None:
+            self._poll_node_loss()
             self._poll_crash()
             self._poll_corruption()
         if self.integrity is not None:
@@ -450,6 +497,8 @@ class PGASRuntime:
             raise CollectiveError(f"unknown combine mode {combine!r}")
         if self.integrity is not None:
             self.integrity.note_write(arr, indices.data)
+        if self.resilience is not None:
+            self.resilience.mark_write(arr, indices.data)
         return changed
 
     # -- local (per-thread) modeled work ---------------------------------------
@@ -527,6 +576,8 @@ class PGASRuntime:
             self.analyzer.record_block(arr, "w", phase="owner-block-write")
         if self.integrity is not None:
             self.integrity.note_write(arr)
+        if self.resilience is not None:
+            self.resilience.mark_write(arr)
 
     def owner_masked_write(
         self,
@@ -547,6 +598,8 @@ class PGASRuntime:
             )
         if self.integrity is not None:
             self.integrity.note_write(arr, mask)
+        if self.resilience is not None:
+            self.resilience.mark_write(arr, mask)
 
     def owner_indexed_write(
         self, arr: SharedArray, indices: np.ndarray, values, *, category: str = Category.WORK
@@ -560,6 +613,8 @@ class PGASRuntime:
             self.analyzer.record_owner_write(arr, indices, phase="owner-indexed-write")
         if self.integrity is not None:
             self.integrity.note_write(arr, indices)
+        if self.resilience is not None:
+            self.resilience.mark_write(arr, indices)
 
     # -- structured helpers -----------------------------------------------------
 

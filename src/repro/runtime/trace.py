@@ -78,6 +78,10 @@ class Counters:
     corruptions_injected: int = 0
     corruptions_detected: int = 0
     repairs: int = 0
+    node_losses: int = 0
+    blocks_reconstructed: int = 0
+    replicas_written: int = 0
+    epoch_changes: int = 0
 
     def add(self, **deltas: int) -> None:
         for key, value in deltas.items():
@@ -192,6 +196,11 @@ class Trace:
             yield (
                 f"silent  : injected={c.corruptions_injected}"
                 f" detected={c.corruptions_detected} repairs={c.repairs}"
+            )
+        if c.node_losses or c.replicas_written or c.blocks_reconstructed or c.epoch_changes:
+            yield (
+                f"resil   : losses={c.node_losses} epochs={c.epoch_changes}"
+                f" replicas={c.replicas_written} rebuilt={c.blocks_reconstructed}"
             )
         for event in self.events:
             yield f"event   : {event}"

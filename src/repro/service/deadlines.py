@@ -12,8 +12,12 @@ solver (it is deliberately not a ``FaultError``, so the checkpoint /
 repair machinery never absorbs it).
 
 **Backoff** is deterministic exponential: ``base * factor**attempt``,
-capped.  No jitter — the service's retries are per-job sequential, not
-a thundering herd, and determinism keeps tests exact.
+capped, with optional *seeded* jitter.  Plain exponential backoff
+synchronizes retry storms — every job that failed in the same breaker
+window retries on the same schedule.  The jitter here is a deterministic
+hash of ``(key, attempt)`` (the key is the job id), so two jobs' retry
+schedules desynchronize while any single job replays byte-identically:
+determinism keeps tests exact, the hash keeps the herd thin.
 
 **Circuit breaker** is per-tenant, counting *consecutive* failures:
 ``closed -> open`` after ``failure_threshold`` failures, ``open ->
@@ -28,6 +32,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
@@ -114,16 +119,30 @@ def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
 
 @dataclass(frozen=True)
 class BackoffPolicy:
-    """Deterministic exponential backoff for job retries."""
+    """Deterministic exponential backoff for job retries.
+
+    With ``jitter > 0`` the delay for ``(key, attempt)`` is scaled by a
+    factor drawn deterministically from ``crc32(f"{key}:{attempt}")`` in
+    ``[1 - jitter, 1]`` — distinct keys spread out, identical inputs
+    replay to the exact same schedule.  ``jitter=0`` (the default) and
+    the keyless form are byte-identical to plain capped exponential.
+    """
 
     base_s: float = 0.05
     factor: float = 2.0
     cap_s: float = 2.0
     max_attempts: int = 3
+    #: Fraction of the delay the seeded jitter may shave off, in [0, 1].
+    jitter: float = 0.0
 
-    def delay(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (0-based)."""
-        return min(self.cap_s, self.base_s * self.factor ** attempt)
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Sleep before retry number ``attempt`` (0-based), jittered
+        deterministically by ``key`` (typically the job id)."""
+        base = min(self.cap_s, self.base_s * self.factor ** attempt)
+        if self.jitter <= 0.0:
+            return base
+        u = zlib.crc32(f"{key}:{attempt}".encode("utf-8")) / 2**32
+        return base * (1.0 - self.jitter * u)
 
 
 class CircuitBreaker:

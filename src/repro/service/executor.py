@@ -332,6 +332,8 @@ class JobExecutor:
 
         if spec.integrity and not get_algorithm(spec.algo, impl).supports_integrity:
             impl = "collective"
+        elif spec.redundancy and not get_algorithm(spec.algo, impl).supports_resilience:
+            impl = "collective"
         elif spec.has_faults and not get_algorithm(spec.algo, impl).supports_faults:
             impl = "collective"
         return impl, opts, tprime, {
@@ -354,7 +356,16 @@ class JobExecutor:
             total_threads=machine.total_threads,
             corruption=spec.corruption,
             payload_corruption=spec.payload_corruption,
+            node_loss_at=spec.node_loss_at,
+            node_loss_node=spec.node_loss_node,
         )
+
+    def _resilience(self, spec: JobSpec):
+        if not spec.redundancy:
+            return None
+        from ..resilience import RedundancyConfig
+
+        return RedundancyConfig(mode=spec.redundancy, spares=spec.spares)
 
     def _solve(self, spec: JobSpec, machine, impl, opts, tprime) -> dict:
         """One attempt; returns the result payload (verify not yet run)."""
@@ -363,16 +374,19 @@ class JobExecutor:
         g, gw = self.graphs.get(spec)
         faults = self._fault_plan(spec, machine)
         integrity = True if spec.integrity else None
+        resilience = self._resilience(spec)
         if spec.algo == "cc":
             res = connected_components(
                 g, machine, impl=impl, opts=opts, tprime=tprime,
                 faults=faults, graph_kind=spec.kind, integrity=integrity,
+                resilience=resilience,
             )
             answer = {"num_components": res.num_components}
         elif spec.algo == "mst":
             res = minimum_spanning_forest(
                 gw, machine, impl=impl, opts=opts, tprime=tprime,
                 faults=faults, graph_kind=spec.kind, integrity=integrity,
+                resilience=resilience,
             )
             answer = {"num_edges": res.num_edges, "total_weight": int(res.total_weight)}
         else:
@@ -486,7 +500,7 @@ class JobExecutor:
                 self.metrics.count("attempt_failures")
                 attempt += 1
                 if attempt < self.backoff.max_attempts:
-                    delay = self.backoff.delay(attempt - 1)
+                    delay = self.backoff.delay(attempt - 1, key=job.job_id)
                     if job.deadline_at is None or time.monotonic() + delay < job.deadline_at:
                         self.metrics.count("retries")
                         time.sleep(delay)
@@ -509,7 +523,7 @@ class JobExecutor:
                 attempt += 1
                 if attempt < self.backoff.max_attempts:
                     self.metrics.count("retries")
-                    time.sleep(self.backoff.delay(attempt - 1))
+                    time.sleep(self.backoff.delay(attempt - 1, key=job.job_id))
                     continue
                 job.transition(
                     JobState.FAILED, retriable=True,

@@ -97,6 +97,13 @@ class JobSpec:
     corruption: float = 0.0
     payload_corruption: float = 0.0
     fault_seed: int = 0
+    #: Modeled time (seconds) at which ``node_loss_node`` is permanently
+    #: lost; 0 = no loss.  Pair with ``redundancy`` or the job fails.
+    node_loss_at: float = 0.0
+    node_loss_node: int = 1
+    #: Owner-block redundancy mode ("" = off, "buddy" | "parity").
+    redundancy: str = ""
+    spares: int = 0
     source: int = 0  # BFS root
 
     def __post_init__(self) -> None:
@@ -122,9 +129,20 @@ class JobSpec:
             raise UsageError(f"field 'stragglers' must be >= 0: got {self.stragglers}")
         if self.corruption < 0 or self.payload_corruption < 0:
             raise UsageError("corruption rates must be >= 0")
+        if self.node_loss_at < 0:
+            raise UsageError(f"field 'node_loss_at' must be >= 0: got {self.node_loss_at}")
+        if self.node_loss_node < 0:
+            raise UsageError(f"field 'node_loss_node' must be >= 0: got {self.node_loss_node}")
+        if self.redundancy not in ("", "buddy", "parity"):
+            raise UsageError(
+                f"field 'redundancy' must be '', 'buddy' or 'parity': got {self.redundancy!r}"
+            )
+        if self.spares < 0:
+            raise UsageError(f"field 'spares' must be >= 0: got {self.spares}")
         if self.algo == "bfs" and (
             self.loss or self.stragglers or self.corruption
             or self.payload_corruption or self.integrity
+            or self.node_loss_at or self.redundancy
         ):
             raise UsageError("fault injection and integrity are only supported for cc/mst jobs")
         if self.variant is not None:
@@ -150,7 +168,10 @@ class JobSpec:
 
     @property
     def has_faults(self) -> bool:
-        return bool(self.loss or self.stragglers or self.corruption or self.payload_corruption)
+        return bool(
+            self.loss or self.stragglers or self.corruption
+            or self.payload_corruption or self.node_loss_at
+        )
 
     def graph_fingerprint(self) -> str:
         """Input-identity key for graph and plan reuse across jobs."""
@@ -163,7 +184,8 @@ class JobSpec:
         known = {
             "tenant", "algo", "n", "density", "kind", "seed", "machine", "impl",
             "variant", "opts", "tprime", "priority", "deadline_s", "integrity", "loss",
-            "stragglers", "corruption", "payload_corruption", "fault_seed", "source",
+            "stragglers", "corruption", "payload_corruption", "fault_seed",
+            "node_loss_at", "node_loss_node", "redundancy", "spares", "source",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -194,6 +216,10 @@ class JobSpec:
             corruption=_field(payload, "corruption", float, 0.0),
             payload_corruption=_field(payload, "payload_corruption", float, 0.0),
             fault_seed=_field(payload, "fault_seed", int, 0),
+            node_loss_at=_field(payload, "node_loss_at", float, 0.0),
+            node_loss_node=_field(payload, "node_loss_node", int, 1),
+            redundancy=str(payload.get("redundancy", "")),
+            spares=_field(payload, "spares", int, 0),
             source=_field(payload, "source", int, 0),
         )
 

@@ -82,6 +82,7 @@ class OnlineAdapter:
         self.machine = machine
         self.config = config
         self.allow_offload = allow_offload
+        self._n = n
         block_elems = max(1, n // machine.total_threads)
         #: The cache-fit t' the divergence rule steps toward.
         self.target_tprime = best_tprime(block_elems, CostModel(machine))
@@ -108,6 +109,24 @@ class OnlineAdapter:
         if self._rt is not None:
             self._rt.trace.record_event(f"tuning: {decision}")
             self._rt.counters.add(tuning_adaptations=1)
+
+    def on_membership_change(self, rt: PGASRuntime) -> None:
+        """Re-plan for a post-loss machine (called by
+        :meth:`repro.resilience.ResilientSession.recover_loss`): rebind
+        to the recovered runtime's profiler, recompute the cache-fit t'
+        target for the new thread count, and drop the old best-round
+        baseline — round durations on the shrunken (or spare-patched)
+        machine are not comparable to the old membership's."""
+        old_threads = self.machine.total_threads
+        self.machine = rt.machine
+        block_elems = max(1, self._n // max(1, rt.machine.total_threads))
+        self.target_tprime = best_tprime(block_elems, CostModel(rt.machine))
+        self._best_round_s = None
+        self.begin(rt)
+        self._record(
+            f"membership change: {old_threads} -> {rt.machine.total_threads} threads,"
+            f" target t'={self.target_tprime}"
+        )
 
     # -- per-round hook -----------------------------------------------------
 

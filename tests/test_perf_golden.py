@@ -18,7 +18,12 @@ from __future__ import annotations
 import pytest
 
 from repro.perf import clear_derived_caches, global_arena, legacy_engine
-from repro.perf.golden import SCENARIOS, Scenario, scenario_fingerprint
+from repro.perf.golden import (
+    REDUNDANCY_SCENARIOS,
+    SCENARIOS,
+    Scenario,
+    scenario_fingerprint,
+)
 
 
 def _scenario_id(scenario: Scenario) -> str:
@@ -63,3 +68,39 @@ def test_faulted_unprotected_error_is_part_of_the_fingerprint():
     fast = scenario_fingerprint(hot)
     assert fast == golden
     assert ("error" in golden) == ("error" in fast)
+
+
+def test_redundancy_matrix_is_separate():
+    """The redundancy scenarios live beside the 16-entry pin, not in it."""
+    assert len(SCENARIOS) == 16  # the original contract is untouched
+    names = [s.name for s in REDUNDANCY_SCENARIOS]
+    assert len(set(names)) == len(names) == 8
+    assert not set(names) & {s.name for s in SCENARIOS}
+    for s in REDUNDANCY_SCENARIOS:
+        assert s.redundancy in ("buddy", "parity")
+
+
+@pytest.mark.parametrize("scenario", REDUNDANCY_SCENARIOS, ids=_scenario_id)
+def test_redundancy_charges_are_bit_identical(scenario):
+    """Replication / round-commit traffic is modeled time like any other:
+    the fast engine must reproduce it bit-for-bit, and with no loss
+    firing the answer must match the redundancy-off run exactly."""
+    with legacy_engine():
+        golden = scenario_fingerprint(scenario)
+    clear_derived_caches()
+    global_arena().clear()
+    fast = scenario_fingerprint(scenario)
+    assert fast == golden, f"{scenario.name}: fast engine diverged from legacy"
+    if "counters" in fast:
+        assert fast["counters"]["replicas_written"] > 0
+        assert fast["counters"]["node_losses"] == 0
+
+
+def test_redundancy_never_changes_answers_without_a_loss():
+    """Redundancy on, no loss: same labels as the plain run."""
+    plain = scenario_fingerprint(Scenario(algo="cc", faults=False, analyze=False, integrity=False))
+    for mode in ("buddy", "parity"):
+        red = scenario_fingerprint(
+            Scenario(algo="cc", faults=False, analyze=False, integrity=False, redundancy=mode)
+        )
+        assert red["result"] == plain["result"]

@@ -253,6 +253,33 @@ class TestBackoffPolicy:
         policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=0.5, max_attempts=5)
         assert [policy.delay(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.5]
 
+    def test_zero_jitter_ignores_key(self):
+        # The default policy is byte-identical with or without a key.
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=0.5, max_attempts=5)
+        assert [policy.delay(i, key="job-a") for i in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_seeded_jitter_schedule_is_pinned(self):
+        # crc32-seeded jitter: the exact schedule for a given key is part
+        # of the replay contract — these floats must never drift.
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=10.0, max_attempts=5, jitter=0.5)
+        assert [policy.delay(i, key="job-a") for i in range(4)] == [
+            0.06547284920234234,
+            0.12197209745645524,
+            0.32594894794747237,
+            0.7346787232905627,
+        ]
+
+    def test_seeded_jitter_desynchronizes_keys_but_replays(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=10.0, max_attempts=5, jitter=0.5)
+        a = [policy.delay(i, key="job-a") for i in range(4)]
+        b = [policy.delay(i, key="job-b") for i in range(4)]
+        assert a != b  # distinct jobs spread out...
+        assert a == [policy.delay(i, key="job-a") for i in range(4)]  # ...identically on replay
+        plain = [min(10.0, 0.1 * 2.0 ** i) for i in range(4)]
+        for seq in (a, b):
+            for got, ceiling in zip(seq, plain):
+                assert 0.5 * ceiling <= got <= ceiling  # within the jitter band
+
 
 class TestCircuitBreaker:
     def test_opens_after_threshold(self):
