@@ -1,0 +1,71 @@
+"""Kernel-backend benchmark: per-backend x per-preset speedup table.
+
+Runs :func:`repro.perf.bench.run_kernel_bench` — every available
+backend timed on the same micro presets and the same CC + MST solve in
+one process, plus a sharded-solve leg — and prints the speedup table
+against the numpy baseline.  The payload lands in ``BENCH_kernels.json``
+(archived by the CI backend-matrix legs).
+
+Unavailable backends (numba not installed, say) appear as skipped rows,
+never failures; single-core hosts record an honest ~1x sharding ratio
+next to the CPU count.
+"""
+
+from repro.bench import format_table
+from repro.perf.bench import run_kernel_bench
+
+
+def test_kernel_backends(benchmark, repro_scale, repro_workers):
+    payload = benchmark.pedantic(
+        run_kernel_bench,
+        kwargs={"scale": max(0.25, repro_scale), "repeats": 2, "workers": repro_workers},
+        rounds=1,
+        iterations=1,
+    )
+    presets = ["micro-0.5x", "micro-1x", "micro-2x", "solve"]
+    rows = []
+    for record in payload["backends"]:
+        if not record["available"]:
+            rows.append([record["backend"], f"skipped — {record['reason']}", "", "", ""])
+            continue
+        rows.append(
+            [record["backend"]]
+            + [
+                f"{record['presets'][p] * 1e3:.1f} ms"
+                f" ({record['speedup_vs_numpy'][p]:.2f}x)"
+                for p in presets
+            ]
+        )
+    shard = payload["shard"]
+    if shard["seconds"] is not None:
+        rows.append(
+            [
+                f"numpy+shard[{shard['workers']}]",
+                "-",
+                "-",
+                "-",
+                f"{shard['seconds'] * 1e3:.1f} ms ({shard['speedup']:.2f}x)",
+            ]
+        )
+    print()
+    print(format_table(["backend"] + presets, rows))
+    print(f"cpus={payload['cpus']} shard_note={shard['note'] or '-'}"
+          f" report={payload['path']}")
+
+    # Availability and bit-identity are test-suite concerns; here we
+    # only require that every available backend produced a measurable
+    # run (the speedup gate lives in the CI backend-matrix job, which
+    # compares numbers measured on one runner).
+    available = [r for r in payload["backends"] if r["available"]]
+    assert any(r["backend"] == "numpy" for r in available)
+    for record in available:
+        assert all(seconds > 0 for seconds in record["presets"].values())
+
+    benchmark.extra_info["cpus"] = payload["cpus"]
+    for record in available:
+        if record["backend"] != "numpy":
+            benchmark.extra_info[f"{record['backend']}_solve_speedup"] = round(
+                record["speedup_vs_numpy"]["solve"], 3
+            )
+    if shard["speedup"] is not None:
+        benchmark.extra_info["shard_solve_speedup"] = round(shard["speedup"], 3)

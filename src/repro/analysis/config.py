@@ -33,10 +33,11 @@ WHITELIST_PARTS = (
     "repro/faults/",
     "repro/integrity/",
     # Wall-clock machinery: the arena, the memoized derived-artifact
-    # caches, and the golden/bench harnesses operate on raw buffers by
-    # design and never produce charged time (the golden suite exists to
-    # prove exactly that).
+    # caches, the kernel backends, and the golden/bench harnesses operate
+    # on raw buffers by design and never produce charged time (the golden
+    # suite exists to prove exactly that).
     "repro/perf/",
+    "repro/kernels/",
 )
 
 #: Modules that live in wall-clock time *on purpose* — operational code,

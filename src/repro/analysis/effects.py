@@ -44,7 +44,16 @@ from dataclasses import dataclass, field
 __all__ = ["Effect", "EFFECTS", "effect_of", "registry_drift"]
 
 #: Owner tags checked by :func:`registry_drift`.
-_OWNERS = ("runtime", "collectives", "shared_array", "integrity", "checkpoint", "resilience")
+_OWNERS = (
+    "runtime",
+    "collectives",
+    "shared_array",
+    "integrity",
+    "checkpoint",
+    "resilience",
+    "kernels",
+    "shard",
+)
 
 
 @dataclass(frozen=True)
@@ -91,6 +100,14 @@ def _ck(**kw) -> Effect:
 
 def _res(**kw) -> Effect:
     return Effect(owner="resilience", **kw)
+
+
+def _kern(**kw) -> Effect:
+    return Effect(owner="kernels", **kw)
+
+
+def _shard(**kw) -> Effect:
+    return Effect(owner="shard", **kw)
 
 
 #: name -> Effect.  Names are matched on the *last* component of a call
@@ -186,6 +203,39 @@ EFFECTS: dict[str, Effect] = {
     "mark_write": _res(),
     "on_loss": _res(charges=True, faultable=True),
     "recover_loss": _res(charges=True, comm=True, faultable=True, taints=True),
+    # -- repro.kernels (wall-clock machinery: pure array->array functions
+    # on their arguments, bit-identical across backends; taint flows
+    # through arguments, nothing here touches the modeled clocks or the
+    # collective sequence) -------------------------------------------------
+    "active_backend": _kern(),
+    "available_backends": _kern(),
+    "backend_capabilities": _kern(),
+    "backend_name": _kern(),
+    "calibrate_backends": _kern(),
+    "missing_reason": _kern(),
+    "recommend_backend": _kern(),
+    "resolve_backend": _kern(),
+    "set_backend": _kern(),
+    "use_backend": _kern(),
+    "available": _kern(),
+    "group_minima": _kern(),
+    "exchange_matrix": _kern(),
+    "owner_distinct": _kern(),
+    "segment_distinct": _kern(),
+    "concat_segments": _kern(),
+    # -- repro.perf.shard (host-side shared-memory pool: the try_* ops are
+    # wall-clock replicas of SharedArray's raw primitives — the charged /
+    # raw_comm accounting stays on the SharedArray records above, which
+    # are the only entry points algorithm modules call) --------------------
+    "current_session": _shard(),
+    "sharded_session": _shard(),
+    "adopt": _shard(),
+    "covers": _shard(),
+    "try_gather": _shard(),
+    "try_scatter_min": _shard(),
+    "try_scatter_store_min": _shard(),
+    "shutdown": _shard(),
+    "stats": _shard(),
 }
 
 
@@ -217,8 +267,11 @@ def registry_drift() -> list[str]:
     describing a runtime that is gone).
     """
     import repro.collectives as collectives
+    import repro.kernels as kernels
     from repro.faults.checkpoint import RoundCheckpointer
     from repro.integrity.monitor import IntegrityMonitor, guard_payload  # noqa: F401
+    from repro.kernels.base import KernelBackend
+    from repro.perf.shard import ShardedSession
     from repro.resilience.session import ResilientSession
     from repro.runtime.runtime import PGASRuntime
     from repro.runtime.shared_array import SharedArray
@@ -236,6 +289,15 @@ def registry_drift() -> list[str]:
             if callable(getattr(collectives, name))
             and not isinstance(getattr(collectives, name), type)
         },
+        "kernels": _public_routines(KernelBackend)
+        | {
+            name
+            for name in kernels.__all__
+            if callable(getattr(kernels, name))
+            and not isinstance(getattr(kernels, name), type)
+        },
+        "shard": _public_routines(ShardedSession)
+        | {"current_session", "sharded_session"},
     }
     for owner, live in surfaces.items():
         registered = {name for name, eff in EFFECTS.items() if eff.owner == owner}

@@ -151,6 +151,43 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run the epoch race detector on this solve (exit 3 if races found)",
     )
+    _add_backend(parser)
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend for the fast engine's hot loops:"
+        " numpy|numba|scipy|auto (default: $REPRO_PERF_BACKEND or numpy;"
+        " an installed-but-missing backend falls back to numpy with a"
+        " warning, an unknown name exits 2; results are bit-identical"
+        " across backends)",
+    )
+
+
+def _shard_session(args: argparse.Namespace):
+    """The ``--shard-workers`` context: a live ShardedSession (>= 2
+    workers), or a null context yielding ``None``."""
+    workers = getattr(args, "shard_workers", None)
+    if workers is None:
+        return contextlib.nullcontext(None)
+    from .perf.fanout import resolve_workers
+    from .perf.shard import sharded_session
+
+    return sharded_session(resolve_workers(workers, source="--shard-workers"))
+
+
+def _print_shard_stats(shard_sess) -> None:
+    if shard_sess is None:
+        return
+    st = shard_sess.stats()
+    note = f" ({st['note']})" if st["note"] else ""
+    print(
+        f"sharding: {st['requested_workers']} worker(s),"
+        f" {st['adopted_arrays']} shm-backed array(s),"
+        f" {st['pool_ops']} pooled op(s){note}"
+    )
 
 
 def _parse_tprime(text: str):
@@ -311,13 +348,14 @@ def _cmd_cc(args: argparse.Namespace) -> int:
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"connected components — {args.kind} n={g.n:,} m={g.m:,}"))
-    with _maybe_analyzed(args) as session:
+    with _shard_session(args) as shard_sess, _maybe_analyzed(args) as session:
         res = connected_components(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
             integrity=True if args.integrity else None,
             resilience=_resilience_config(args),
         )
+    _print_shard_stats(shard_sess)
     print(f"\ncomponents: {res.num_components}")
     _print_info(res.info)
     return _sanitizer_exit(session)
@@ -328,13 +366,14 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     machine = _parse_machine(args.machine, args.n, not args.no_calibrate)
     opts = _parse_opts(args.opts, args.hierarchical)
     print(banner(f"minimum spanning forest — {args.kind} n={g.n:,} m={g.m:,}"))
-    with _maybe_analyzed(args) as session:
+    with _shard_session(args) as shard_sess, _maybe_analyzed(args) as session:
         res = minimum_spanning_forest(
             g, machine, impl=args.impl, opts=opts, tprime=args.tprime, validate=args.validate,
             faults=_fault_plan(args, machine), graph_kind=args.kind,
             integrity=True if args.integrity else None,
             resilience=_resilience_config(args),
         )
+    _print_shard_stats(shard_sess)
     print(f"\nforest: {res.num_edges:,} edges, total weight {res.total_weight:,}")
     _print_info(res.info)
     return _sanitizer_exit(session)
@@ -622,6 +661,35 @@ def _cmd_info(args: argparse.Namespace) -> int:
     for line in profile.summary_lines():
         print(line)
 
+    from . import kernels
+
+    print(banner("kernel backends"))
+    rows = []
+    for cap in kernels.backend_capabilities():
+        rows.append(
+            [
+                cap["backend"],
+                "yes" if cap["available"] else f"no — {cap['reason']}",
+                cap["requires"] or "-",
+                ", ".join(cap["native_ops"]),
+            ]
+        )
+    print(format_table(["backend", "available", "requires", "native ops"], rows))
+    rows = []
+    for rec in kernels.calibrate_backends(repeats=2, scale=0.25):
+        if rec["seconds"] is None:
+            rows.append([rec["backend"], "-", "-"])
+        else:
+            rows.append(
+                [
+                    rec["backend"],
+                    f"{rec['seconds'] * 1e3:.2f}",
+                    f"{rec.get('speedup_vs_numpy', 1.0):.2f}x",
+                ]
+            )
+    print(format_table(["backend", "probe ms", "vs numpy"], rows))
+    print(f"recommended: {kernels.recommend_backend()} (active: {kernels.backend_name()})")
+
     cache = PlanCache()
     print(f"\ntuning-plan cache: {cache.path} ({len(cache)} plan(s))")
     m = int(args.density * n)
@@ -677,6 +745,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(_plan_table(plan))
     sel = plan.selected
     print(f"\nselected: {sel.config_label()} ({sel.best_ms:.3f} ms modeled at n={args.n:,})")
+
+    # The kernel backend is the plan's wall-clock dimension: calibrated
+    # per host, reported next to the plan, but never cached inside it
+    # (TuningPlan files are byte-deterministic; wall-clock probes are
+    # not — see docs/performance.md).
+    from . import kernels
+
+    print("\nkernel-backend calibration (wall-clock; not part of the cached plan):")
+    for rec in kernels.calibrate_backends(repeats=2, scale=0.5):
+        if rec["seconds"] is None:
+            print(f"  {rec['backend']:<6} unavailable — {rec['reason']}")
+        else:
+            print(
+                f"  {rec['backend']:<6} {rec['seconds'] * 1e3:8.2f} ms"
+                f"  ({rec.get('speedup_vs_numpy', 1.0):.2f}x vs numpy)"
+            )
+    print(f"  recommended: {kernels.recommend_backend()} (active: {kernels.backend_name()})")
 
     # Demonstrate the pick against the paper's default on the real input.
     g = _build_graph(args, weighted=args.algo == "mst")
@@ -768,11 +853,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_cc = sub.add_parser("cc", help="connected components")
     _add_common(p_cc)
     p_cc.add_argument("--impl", choices=CC_IMPLS, default="collective")
+    p_cc.add_argument(
+        "--shard-workers",
+        default=None,
+        help="intra-run sharding: back owner blocks with shared memory and"
+        " spread this solve's scatter/gather phases over N worker"
+        " processes ('auto' = one per CPU); results are bit-identical",
+    )
     p_cc.set_defaults(func=_cmd_cc)
 
     p_mst = sub.add_parser("mst", help="minimum spanning forest")
     _add_common(p_mst)
     p_mst.add_argument("--impl", choices=MST_IMPLS, default="collective")
+    p_mst.add_argument(
+        "--shard-workers",
+        default=None,
+        help="intra-run sharding: back owner blocks with shared memory and"
+        " spread this solve's scatter/gather phases over N worker"
+        " processes ('auto' = one per CPU); results are bit-identical",
+    )
     p_mst.set_defaults(func=_cmd_mst)
 
     p_bfs = sub.add_parser("bfs", help="breadth-first search")
@@ -851,6 +950,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="16x8",
         help="cluster shape NODESxTHREADS (e.g. 16x8), 'smp' (1x16) or 'seq'",
     )
+    _add_backend(p_info)
     p_info.set_defaults(func=_cmd_info)
 
     p_tune = sub.add_parser(
@@ -870,6 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf = sub.add_parser(
         "perf", help="wall-clock bench: fast vs legacy engine, fan-out throughput"
     )
+    _add_backend(p_perf)
     p_perf.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     p_perf.add_argument("--repeats", type=int, default=2, help="best-of-N timing repeats")
     p_perf.add_argument(
@@ -979,6 +1080,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "backend", None):
+            # Resolve eagerly so a typo exits 2 before any work and an
+            # unavailable backend warns exactly once, up front.
+            from . import kernels
+
+            kernels.set_backend(args.backend, source="--backend")
         return args.func(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..errors import CollectiveError
-from ..perf import arena
 from ..perf import state as perf_state
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
@@ -40,12 +40,10 @@ def send_matrix(
     if owners.min() < 0 or owners.max() >= s or requesters.min() < 0 or requesters.max() >= s:
         raise CollectiveError("thread id out of range in send matrix")
     if perf_state.fast_engine_enabled():
-        # Fused key build into pooled scratch (this runs once per
-        # collective call on a vector the size of the request buffer).
-        with arena.lease(owners.size, np.int64) as keys:
-            np.multiply(owners, np.int64(s), out=keys)
-            keys += requesters
-            return np.bincount(keys, minlength=s * s).reshape(s, s)
+        # Pair-count packing is the active kernel backend's
+        # `exchange_matrix` (fused keys + bincount on numpy, a compiled
+        # counting loop on numba, a COO coincidence matrix on scipy).
+        return kernels.active_backend().exchange_matrix(requesters, owners, s)
     keys = owners * np.int64(s) + requesters
     return np.bincount(keys, minlength=s * s).reshape(s, s)
 

@@ -29,10 +29,10 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..core.optimizations import OptimizationFlags
 from ..errors import CollectiveError
 from ..integrity.monitor import guard_payload
-from ..perf import arena
 from ..perf import state as perf_state
 from ..runtime.partitioned import PartitionedArray
 from ..runtime.runtime import PGASRuntime
@@ -191,22 +191,11 @@ def owner_distinct_counts(array: SharedArray, indices: np.ndarray, s: int) -> np
     if idx.size == 0:
         return np.zeros(s, dtype=np.int64)
     if perf_state.fast_engine_enabled():
-        # Presence mask + prefix sums over the blocked layout instead of
-        # sorting the (much larger) request vector with np.unique: the
-        # distinct count for thread t is the number of marked slots in
-        # its affinity range.
-        size = array.size
-        block = array.block
-        with arena.lease(size, np.int8, clear=True) as present:
-            present[idx] = 1
-            with arena.lease(size + 1, np.int64) as cum:
-                cum[0] = 0
-                np.cumsum(present, out=cum[1:])
-                tids = np.arange(s, dtype=np.int64)
-                starts = np.minimum(tids * block, size)
-                ends = np.minimum((tids + 1) * block, size)
-                ends[-1] = size
-                return cum[ends] - cum[starts]
+        # Distinct-per-owner counting is the active kernel backend's
+        # `owner_distinct` (presence mask + prefix sums on numpy, a
+        # compiled scan on numba, indicator-CSR row nnz on scipy) —
+        # always cheaper than sorting the much larger request vector.
+        return kernels.active_backend().owner_distinct(idx, array.size, array.block, s)
     uniq = np.unique(idx)
     return np.bincount(array.owner_thread(uniq), minlength=s)
 

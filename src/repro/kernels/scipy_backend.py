@@ -1,0 +1,68 @@
+"""Optional scipy.sparse backend: exchange packing as sparse matrices.
+
+The all-to-all bookkeeping of Algorithm 2 *is* sparse linear algebra:
+the SMatrix is the (owner, requester) coincidence matrix of the request
+vector, and the distinct-count bounds are row-nnz queries on indicator
+matrices.  This backend states that directly — ``coo_matrix`` sums
+duplicate coordinates on CSR conversion, so the count matrices fall out
+of the format conversion itself, and per-row nnz (``diff(indptr)``)
+counts distinct columns without sorting or presence scans.
+
+Only the exchange/count formulations are native; the grouped-minima
+scatter core has no natural sparse phrasing and inherits the NumPy
+baseline (per-op fallback, see the capability table in
+``docs/performance.md``).  scipy ships in this tree's baseline
+environment, but the backend still gates on import so a trimmed
+install degrades to NumPy with a warning rather than a crash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numpy_backend import NumpyKernels
+
+__all__ = ["ScipyKernels"]
+
+_missing: "str | None" = None
+try:
+    from scipy import sparse
+except ImportError as exc:  # pragma: no cover - scipy is in the base image
+    _missing = f"python package 'scipy' is not installed ({exc})"
+    sparse = None
+
+
+class ScipyKernels(NumpyKernels):
+    """scipy.sparse exchange/count kernels; NumPy baseline elsewhere."""
+
+    name = "scipy"
+    requires = "scipy"
+    native_ops = ("exchange_matrix", "owner_distinct", "segment_distinct")
+
+    @classmethod
+    def missing_reason(cls):
+        return _missing
+
+    def exchange_matrix(self, requesters, owners, s):
+        # COO -> dense sums duplicate (owner, requester) coordinates:
+        # exactly the pair-count SMatrix.
+        ones = np.ones(owners.size, dtype=np.int64)
+        mat = sparse.coo_matrix((ones, (owners, requesters)), shape=(s, s))
+        return np.asarray(mat.todense(), dtype=np.int64)
+
+    def owner_distinct(self, idx, size, block, s):
+        # Row r of the indicator matrix holds thread r's requested
+        # indices; CSR conversion dedups coordinates, so row nnz is the
+        # distinct count.  int64 data so duplicate summing cannot wrap
+        # a count to an explicit zero (which would still occupy a slot).
+        owners = np.minimum(idx // np.int64(block), s - 1)
+        ones = np.ones(idx.size, dtype=np.int64)
+        csr = sparse.coo_matrix((ones, (owners, idx)), shape=(s, size)).tocsr()
+        return np.diff(csr.indptr).astype(np.int64)
+
+    def segment_distinct(self, tids, vals, parts, vmin, vrange):
+        ones = np.ones(tids.size, dtype=np.int64)
+        csr = sparse.coo_matrix(
+            (ones, (tids, vals - vmin)), shape=(parts, vrange)
+        ).tocsr()
+        return np.diff(csr.indptr).astype(np.int64)

@@ -1,0 +1,29 @@
+"""Process-global active-backend name holder.
+
+Kept free of imports from the rest of the package (and of the rest of
+the tree) so low-level machinery — the buffer arena keys its pools by
+backend name — can consult the active backend without pulling in the
+backend registry, and the registry can set it without cycles.
+
+``None`` means "not resolved yet": the first consumer triggers the
+lazy ``REPRO_PERF_BACKEND`` resolution in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["current_name", "set_current"]
+
+_active_name: str | None = None
+
+
+def current_name() -> "str | None":
+    """The resolved backend name, or ``None`` before first resolution."""
+    return _active_name
+
+
+def set_current(name: "str | None") -> "str | None":
+    """Install a resolved backend name; returns the previous value."""
+    global _active_name
+    previous = _active_name
+    _active_name = name
+    return previous

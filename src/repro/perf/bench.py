@@ -29,7 +29,7 @@ from .arena import global_arena
 from .derived import clear_derived_caches, derived_cache_stats
 from .fanout import available_cpus, resolve_workers
 
-__all__ = ["run_wallclock_bench", "serial_workload"]
+__all__ = ["run_kernel_bench", "run_wallclock_bench", "serial_workload"]
 
 #: Pinned tier-1-equivalent workload shape (scaled by ``--scale``).
 _WORKLOAD_N = 20_000
@@ -164,3 +164,125 @@ def check_against_baseline(payload: dict, baseline: dict, tolerance: float = 0.2
             f" (>{tolerance:.0%} slower)"
         )
     return None
+
+
+# -- kernel-backend benchmark (BENCH_kernels.json) ----------------------------
+
+#: Kernel-bench micro presets: probe-workload scale multipliers.
+_KERNEL_PRESETS = (("micro-0.5x", 0.5), ("micro-1x", 1.0), ("micro-2x", 2.0))
+#: Solve-preset graph size (scaled by ``--scale``).
+_KERNEL_SOLVE_N = 8_000
+
+
+def _kernel_solve_workload(scale: float) -> None:
+    """One CC + MST collective solve — the macro preset the backends are
+    compared on (and the sharded leg re-runs)."""
+    from ..core.pipeline import connected_components, minimum_spanning_forest
+    from ..graph.generators import random_graph, with_random_weights
+    from ..runtime.machine import hps_cluster
+
+    n = max(256, int(_KERNEL_SOLVE_N * scale))
+    machine = hps_cluster(8, 4)
+    g = random_graph(n, 4 * n, seed=2020)
+    gw = with_random_weights(g, seed=2021)
+    connected_components(g, machine, impl="collective")
+    minimum_spanning_forest(gw, machine, impl="collective")
+
+
+def _best_of(fn, repeats: int) -> float:
+    fn()  # warm: JIT compile, pool scratch, derived caches
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernel_bench(
+    out_dir=None,
+    scale: float = 1.0,
+    repeats: int = 2,
+    workers=None,
+    write_json: bool = True,
+) -> dict:
+    """Per-backend x per-preset kernel timings plus a sharded-solve leg.
+
+    Every available backend runs the same micro presets (the fused
+    kernel probe workload at three sizes) and the same macro preset (a
+    CC + MST collective solve); speedups are against the numpy baseline
+    measured in the same process.  Unavailable backends are recorded
+    with their skip reason, never an error.  The sharding leg re-runs
+    the solve inside a :class:`~repro.perf.shard.ShardedSession`; on a
+    single-core host the honest ~1x ratio is recorded alongside the CPU
+    count.  Payload lands in ``BENCH_kernels.json``.
+    """
+    from .. import kernels
+    from .shard import ShardedSession
+
+    cpus = available_cpus()
+    backends = []
+    baseline: dict = {}
+    for name in kernels.BACKENDS:
+        reason = kernels.missing_reason(name)
+        if reason is not None:
+            backends.append(
+                {"backend": name, "available": False, "reason": reason, "presets": {}}
+            )
+            continue
+        presets = {}
+        with kernels.use_backend(name) as backend:
+            for preset, mult in _KERNEL_PRESETS:
+                presets[preset] = _best_of(
+                    lambda b=backend, m=mult: kernels._probe_workload(b, scale * m),
+                    repeats,
+                )
+            clear_derived_caches()
+            global_arena().clear()
+            presets["solve"] = _best_of(lambda: _kernel_solve_workload(scale), repeats)
+        record = {
+            "backend": name,
+            "available": True,
+            "reason": None,
+            "presets": presets,
+        }
+        if name == "numpy":
+            baseline = presets
+        backends.append(record)
+    for record in backends:
+        if record["available"] and baseline:
+            record["speedup_vs_numpy"] = {
+                preset: baseline[preset] / seconds if seconds > 0 else float("inf")
+                for preset, seconds in record["presets"].items()
+            }
+
+    serial_solve = baseline.get("solve", 0.0)
+    nworkers = resolve_workers(workers if workers is not None else "auto")
+    shard = {"workers": nworkers, "seconds": None, "speedup": None, "note": ""}
+    if nworkers > 1:
+        clear_derived_caches()
+        global_arena().clear()
+        with ShardedSession(
+            nworkers, min_array_elems=1 << 12, min_request_elems=1 << 10
+        ) as session:
+            shard["seconds"] = _best_of(lambda: _kernel_solve_workload(scale), repeats)
+            shard["stats"] = session.stats()
+        shard["note"] = session.note
+        if serial_solve and shard["seconds"]:
+            shard["speedup"] = serial_solve / shard["seconds"]
+    else:
+        shard["note"] = "single-core host: sharding not exercised"
+
+    payload = {
+        "scale": scale,
+        "repeats": repeats,
+        "cpus": cpus,
+        "backends": backends,
+        "shard": shard,
+        "arena": global_arena().stats(),
+    }
+    if write_json:
+        from ..bench.harness import write_bench_json
+
+        payload["path"] = str(write_bench_json("kernels", payload, directory=out_dir))
+    return payload

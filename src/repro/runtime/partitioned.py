@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..errors import DistributionError
 from ..perf import arena
 from ..perf import state as perf_state
@@ -102,17 +103,14 @@ class PartitionedArray:
         if not perf_state.fast_engine_enabled():
             segs = [np.concatenate([a.segment(i), b.segment(i)]) for i in range(a.parts)]
             return cls.from_segments(segs)
-        # One scatter per input instead of a Python loop of per-segment
-        # concatenations: place segment i of `a` at the interleaved
-        # output offset, then segment i of `b` right after it.
-        sa, sb = a.sizes(), b.sizes()
+        # Interleaved scatter instead of a Python loop of per-segment
+        # concatenations; the placement itself is the active kernel
+        # backend's `concat_segments`.
         offsets = np.zeros(a.parts + 1, dtype=np.int64)
-        np.cumsum(sa + sb, out=offsets[1:])
-        out = np.empty(int(offsets[-1]), dtype=np.result_type(a.data.dtype, b.data.dtype))
-        shift_a = np.repeat(offsets[:-1] - a.offsets[:-1], sa)
-        out[np.arange(a.total, dtype=np.int64) + shift_a] = a.data
-        shift_b = np.repeat(offsets[:-1] + sa - b.offsets[:-1], sb)
-        out[np.arange(b.total, dtype=np.int64) + shift_b] = b.data
+        np.cumsum(a.sizes() + b.sizes(), out=offsets[1:])
+        out = kernels.active_backend().concat_segments(
+            a.data, a.offsets, b.data, b.offsets, offsets
+        )
         return cls(out, offsets)
 
     # -- basic accessors --------------------------------------------------------
@@ -206,12 +204,11 @@ class PartitionedArray:
         vrange = int(vals.max()) - vmin + 1
         slots = self.parts * vrange
         if perf_state.fast_engine_enabled() and slots <= _DISTINCT_SLOT_CAP:
-            # Presence mask instead of sorting: mark each (thread, value)
-            # slot, then count marks per thread row.
-            with arena.lease(slots, np.int8, clear=True) as present:
-                key = self.thread_ids() * np.int64(vrange) + (vals - vmin)
-                present[key] = 1
-                return present.reshape(self.parts, vrange).sum(axis=1, dtype=np.int64)
+            # Presence-mask counting (backend-dispatched): mark each
+            # (thread, value) slot, then count marks per thread row.
+            return kernels.active_backend().segment_distinct(
+                self.thread_ids(), vals, self.parts, vmin, vrange
+            )
         key = self.thread_ids() * np.int64(vrange) + (vals - vmin)
         uniq = np.unique(key)
         return np.bincount(uniq // vrange, minlength=self.parts)

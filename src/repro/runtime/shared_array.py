@@ -17,23 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..errors import DistributionError
+from ..perf import shard as perf_shard
 from ..perf import state as perf_state
 from .machine import MachineConfig
 
 __all__ = ["SharedArray"]
-
-
-def _group_minima(idx: np.ndarray, vals: np.ndarray):
-    """Sort-reduce duplicate targets: returns ``(targets, minima)`` with
-    ``targets`` the ascending unique indices and ``minima`` the minimum
-    value proposed for each (same adjudication as ``np.minimum.at``,
-    without its per-element inner loop)."""
-    order = np.argsort(idx)
-    sidx = idx[order]
-    svals = vals[order]
-    starts = np.flatnonzero(np.concatenate(([True], sidx[1:] != sidx[:-1])))
-    return sidx[starts], np.minimum.reduceat(svals, starts)
 
 
 class SharedArray:
@@ -124,6 +114,12 @@ class SharedArray:
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size and (idx.min() < 0 or idx.max() >= self.size):
             raise DistributionError("shared array index out of range")
+        if perf_state.fast_engine_enabled():
+            session = perf_shard.current_session()
+            if session is not None:
+                served = session.try_gather(self, idx)
+                if served is not None:
+                    return served
         return self.data[idx]
 
     def scatter_min(self, indices: np.ndarray, values: np.ndarray) -> int:
@@ -141,7 +137,12 @@ class SharedArray:
         if idx.min() < 0 or idx.max() >= self.size:
             raise DistributionError("shared array index out of range")
         if perf_state.fast_engine_enabled():
-            targets, minima = _group_minima(idx, vals)
+            session = perf_shard.current_session()
+            if session is not None:
+                changed = session.try_scatter_min(self, idx, vals)
+                if changed is not None:
+                    return changed
+            targets, minima = kernels.active_backend().group_minima(idx, vals)
             before = self.data[targets]
             new = np.minimum(before, minima)
             changed = int(np.count_nonzero(new != before))
@@ -172,7 +173,12 @@ class SharedArray:
         if idx.min() < 0 or idx.max() >= self.size:
             raise DistributionError("shared array index out of range")
         if perf_state.fast_engine_enabled():
-            targets, minima = _group_minima(idx, vals.astype(np.int64))
+            session = perf_shard.current_session()
+            if session is not None:
+                changed = session.try_scatter_store_min(self, idx, vals)
+                if changed is not None:
+                    return changed
+            targets, minima = kernels.active_backend().group_minima(idx, vals.astype(np.int64))
             # Match the sentinel path exactly: a proposal equal to the
             # sentinel is indistinguishable from "untouched" there.
             keep = minima != np.iinfo(np.int64).max

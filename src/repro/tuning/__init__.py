@@ -41,7 +41,12 @@ from .planner import (
     parse_opts_key,
     predict_config_ms,
 )
-from .probes import MachineProfile, calibrate_profile, machine_fingerprint
+from .probes import (
+    MachineProfile,
+    calibrate_backends,
+    calibrate_profile,
+    machine_fingerprint,
+)
 
 __all__ = [
     "AdapterConfig",
@@ -55,6 +60,7 @@ __all__ = [
     "Workload",
     "autotune",
     "build_plan",
+    "calibrate_backends",
     "calibrate_profile",
     "default_cache_path",
     "expected_rounds",

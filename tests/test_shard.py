@@ -1,0 +1,290 @@
+"""Intra-run sharding: bit-identity, primitives, and segment lifecycle.
+
+The two promises of :mod:`repro.perf.shard`:
+
+* a sharded solve is **bit**-identical to the serial solve (golden
+  fingerprints, any worker count) — sharding is wall-clock machinery;
+* no code path can leak a ``/dev/shm`` segment: segments are unlinked
+  the moment every worker has attached, so normal exits, exception
+  exits, and even ``kill -9`` of the whole process tree leave nothing
+  behind.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import UnrecoverableLossError, UsageError
+from repro.perf import clear_derived_caches, global_arena
+from repro.perf.golden import SCENARIOS, Scenario, scenario_fingerprint
+from repro.perf.shard import (
+    SEGMENT_PREFIX,
+    ShardedSession,
+    current_session,
+    sharded_session,
+)
+from repro.runtime import PGASRuntime, hps_cluster
+
+#: Thresholds zeroed: every array is adopted, every op goes to the pool.
+_EAGER = dict(min_array_elems=0, min_request_elems=0)
+
+
+def _shm_entries() -> list:
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return [e for e in os.listdir(root) if e.startswith(SEGMENT_PREFIX)]
+
+
+def _scenario_id(scenario: Scenario) -> str:
+    return scenario.name
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_derived_caches()
+    global_arena().clear()
+    yield
+    assert current_session() is None
+    assert _shm_entries() == []
+
+
+# -- golden bit-identity ------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=_scenario_id)
+def test_sharded_solve_is_bit_identical(scenario):
+    golden = scenario_fingerprint(scenario)
+    clear_derived_caches()
+    global_arena().clear()
+    with ShardedSession(2, **_EAGER) as session:
+        sharded = scenario_fingerprint(scenario)
+        stats = session.stats()
+    assert sharded == golden, f"{scenario.name}: sharded solve diverged"
+    assert stats["workers"] == 2 or stats["note"]
+    if stats["workers"] == 2:
+        assert stats["adopted_arrays"] > 0
+        assert stats["pool_ops"] > 0
+
+
+def test_bit_identity_is_worker_count_invariant():
+    scenario = SCENARIOS[0]
+    golden = scenario_fingerprint(scenario)
+    for workers in (2, 3):
+        clear_derived_caches()
+        global_arena().clear()
+        with ShardedSession(workers, **_EAGER):
+            assert scenario_fingerprint(scenario) == golden
+
+
+# -- primitives against the serial kernels ------------------------------------
+
+
+@pytest.fixture
+def shard_runtime():
+    with ShardedSession(2, **_EAGER) as session:
+        yield session, PGASRuntime(hps_cluster(4, 2))
+
+
+def test_adopted_scatter_min_matches_serial(shard_runtime, rng):
+    session, rt = shard_runtime
+    init = rng.integers(0, 1_000_000, size=3000, dtype=np.int64)
+    idx = rng.integers(0, 3000, size=5000, dtype=np.int64)
+    vals = rng.integers(0, 1_000_000, size=5000, dtype=np.int64)
+    serial = init.copy()
+    np.minimum.at(serial, idx, vals)
+    expected_changed = int(np.count_nonzero(serial != init))
+
+    arr = rt.shared_array(init.copy())
+    assert session.covers(arr)
+    changed = arr.scatter_min(idx, vals)
+    assert changed == expected_changed
+    np.testing.assert_array_equal(arr.data, serial)
+    assert session.stats()["pool_ops"] >= 1
+
+
+def test_adopted_scatter_store_min_matches_serial(shard_runtime, rng):
+    session, rt = shard_runtime
+    init = rng.integers(0, 100, size=3000, dtype=np.int64)
+    idx = rng.integers(0, 3000, size=5000, dtype=np.int64)
+    # Values above the originals too: store_min may *raise* a label.
+    vals = rng.integers(0, 1_000_000, size=5000, dtype=np.int64)
+    # Naive adjudication: each target gets the min of the values aimed at it.
+    serial = init.copy()
+    prop = {}
+    for i, v in zip(idx, vals):
+        prop[int(i)] = min(prop.get(int(i), v), int(v))
+    for i, v in prop.items():
+        serial[i] = v
+
+    arr = rt.shared_array(init.copy())
+    changed = arr.scatter_store_min(idx, vals)
+    np.testing.assert_array_equal(arr.data, serial)
+    assert changed == int(np.count_nonzero(serial != init))
+
+
+def test_adopted_gather_matches_serial(shard_runtime, rng):
+    session, rt = shard_runtime
+    data = rng.integers(0, 1_000_000, size=4000, dtype=np.int64)
+    idx = rng.integers(0, 4000, size=6000, dtype=np.int64)
+    arr = rt.shared_array(data.copy())
+    np.testing.assert_array_equal(arr.gather(idx), data[idx])
+    assert session.stats()["pool_ops"] >= 1
+
+
+def test_thresholds_and_dtype_gates_return_none(rng):
+    with ShardedSession(2, min_array_elems=0, min_request_elems=100) as session:
+        rt = PGASRuntime(hps_cluster(2, 2))
+        arr = rt.shared_array(np.arange(2000, dtype=np.int64))
+        assert session.covers(arr)
+        # Below the per-request threshold: serial path.
+        assert session.try_scatter_min(arr, np.array([0]), np.array([1])) is None
+        # Float payload: scatter_min adjudication is integer-only.
+        farr = rt.shared_array(np.zeros(2000))
+        big = np.zeros(500, dtype=np.int64)
+        assert session.try_scatter_min(farr, big, np.zeros(500)) is None
+        # Un-adopted array (below min_array_elems after re-gating).
+        session.min_array_elems = 1 << 30
+        small = rt.shared_array(np.arange(2000, dtype=np.int64))
+        assert not session.covers(small)
+        assert session.try_gather(small, big) is None
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_no_shm_entries_even_while_active(rng):
+    with ShardedSession(2, **_EAGER) as session:
+        rt = PGASRuntime(hps_cluster(2, 2))
+        arr = rt.shared_array(rng.integers(0, 100, size=5000, dtype=np.int64))
+        before = arr.data.copy()
+        # Segments are unlinked as soon as the pool attaches: the
+        # /dev/shm directory is clean *during* the session, not just after.
+        assert _shm_entries() == []
+        arr.gather(np.arange(5000, dtype=np.int64))
+    # After shutdown the array owns private memory again, contents intact.
+    np.testing.assert_array_equal(arr.data, before)
+    assert arr.data.base is None
+
+
+def test_exception_exit_cleans_up(rng):
+    data = rng.integers(0, 100, size=5000, dtype=np.int64)
+    with pytest.raises(UnrecoverableLossError):
+        with ShardedSession(2, **_EAGER) as session:
+            rt = PGASRuntime(hps_cluster(2, 2))
+            arr = rt.shared_array(data.copy())
+            assert session.covers(arr)
+            raise UnrecoverableLossError(1, 0.5, "no resilient session")
+    assert current_session() is None
+    assert not session.active
+    assert _shm_entries() == []
+    np.testing.assert_array_equal(arr.data, data)
+
+
+def test_shutdown_is_idempotent():
+    session = ShardedSession(2, **_EAGER)
+    with session:
+        pass
+    session.shutdown()
+    session.shutdown()
+    assert not session.active
+
+
+def test_kill_minus_nine_leaks_nothing(tmp_path):
+    """SIGKILL the whole session mid-flight: the unlink-on-attach
+    protocol means there is nothing left to clean up."""
+    script = textwrap.dedent(
+        f"""
+        import os, sys
+        import numpy as np
+        from repro.perf.shard import ShardedSession
+        from repro.runtime import PGASRuntime, hps_cluster
+
+        session = ShardedSession(2, min_array_elems=0, min_request_elems=0)
+        session.__enter__()
+        rt = PGASRuntime(hps_cluster(2, 2))
+        arr = rt.shared_array(np.arange(20_000, dtype=np.int64))
+        arr.scatter_min(
+            np.arange(20_000, dtype=np.int64),
+            np.zeros(20_000, dtype=np.int64),
+        )
+        print("READY", flush=True)
+        sys.stdin.readline()  # never returns; parent SIGKILLs us here
+        """
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        assert proc.stdout.readline().strip() == b"READY"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - defensive
+            proc.kill()
+            proc.wait(timeout=30)
+    assert proc.returncode == -signal.SIGKILL
+    assert _shm_entries() == []
+
+
+# -- degradation and misuse ---------------------------------------------------
+
+
+def test_single_worker_degrades_to_noop(rng):
+    with ShardedSession(1) as session:
+        assert not session.active
+        assert "disabled" in session.note
+        rt = PGASRuntime(hps_cluster(2, 2))
+        arr = rt.shared_array(rng.integers(0, 9, size=50_000, dtype=np.int64))
+        assert not session.adopt(arr)
+        assert not session.covers(arr)
+        idx = np.arange(50_000, dtype=np.int64)
+        assert session.try_gather(arr, idx) is None
+        assert session.try_scatter_min(arr, idx, arr.data.copy()) is None
+        stats = session.stats()
+        assert stats["workers"] == 0 and stats["pool_ops"] == 0
+
+
+def test_sharded_session_helper_is_noop_below_two():
+    with sharded_session(0) as session:
+        assert session is None
+    with sharded_session(1) as session:
+        assert session is None
+    with sharded_session(2, **_EAGER) as session:
+        assert isinstance(session, ShardedSession)
+
+
+def test_sessions_do_not_nest():
+    with ShardedSession(2, **_EAGER):
+        with pytest.raises(UsageError, match="do not nest"):
+            with ShardedSession(2, **_EAGER):
+                pass  # pragma: no cover
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(UsageError, match="worker count"):
+        ShardedSession(-1)
+
+
+def test_stats_shape():
+    with ShardedSession(2, **_EAGER) as session:
+        stats = session.stats()
+    assert set(stats) == {
+        "requested_workers",
+        "workers",
+        "adopted_arrays",
+        "pool_ops",
+        "note",
+    }
